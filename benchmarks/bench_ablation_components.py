@@ -1,0 +1,81 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+These are not paper artefacts but exercise the knobs DESIGN.md lists:
+* dominance-based replacement vs. the single-metric rankings (covered in the
+  Table-4 bench) — here we additionally time the selection stage itself;
+* the synthesis sanity filter on vs. off;
+* embedding source: last hidden layer (mean-pooled) vs. raw token embeddings.
+"""
+
+import pytest
+
+from repro.core.buffer import DataBuffer
+from repro.core.metrics import QualityScorer
+from repro.core.selector import QualityScoreSelector
+from repro.core.synthesis import DataSynthesizer, SynthesisConfig
+from repro.data.lexicons import builtin_lexicons
+from repro.data.synthetic import make_generator
+from repro.llm.pretrain import PretrainConfig, build_pretrained_llm
+from repro.llm.model import OnDeviceLLMConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lexicons = builtin_lexicons()
+    generator = make_generator("meddialog", size=80, seed=0, lexicons=lexicons)
+    corpus = generator.generate()
+    llm = build_pretrained_llm(
+        corpus,
+        llm_config=OnDeviceLLMConfig(dim=32, num_layers=1, num_heads=2, max_seq_len=64),
+        pretrain_config=PretrainConfig(epochs=4, seed=0),
+    )
+    return lexicons, generator, corpus, llm
+
+
+@pytest.mark.benchmark(group="ablation-selection")
+def test_selection_throughput(benchmark, setup):
+    """Wall-clock cost of the paper's selection policy per streamed dialogue."""
+    lexicons, generator, corpus, llm = setup
+    dialogues = corpus.dialogues()
+
+    def run_selection():
+        buffer = DataBuffer(16)
+        selector = QualityScoreSelector(buffer, QualityScorer(llm, lexicons), rng=0)
+        for dialogue in dialogues:
+            selector.offer(dialogue)
+        return selector.acceptance_rate()
+
+    rate = benchmark(run_selection)
+    assert 0.0 < rate <= 1.0
+
+
+@pytest.mark.benchmark(group="ablation-synthesis-filter")
+@pytest.mark.parametrize("threshold", [0.0, 0.35])
+def test_synthesis_sanity_filter(benchmark, setup, threshold):
+    """Synthesis with the ROUGE-1 sanity filter off (0.0) vs. on (0.35)."""
+    _, _, corpus, llm = setup
+    originals = corpus.dialogues()[:8]
+
+    def run_synthesis():
+        synthesizer = DataSynthesizer(
+            llm, SynthesisConfig(num_per_item=3, similarity_threshold=threshold, seed=0)
+        )
+        return synthesizer.synthesize(originals)
+
+    generated = benchmark(run_synthesis)
+    assert len(generated) <= 24
+
+
+@pytest.mark.benchmark(group="ablation-embedding")
+@pytest.mark.parametrize("source", ["mean_hidden", "token_matrix"])
+def test_embedding_source(benchmark, setup, source):
+    """Cost of the two embedding views the metrics can consume."""
+    _, _, corpus, llm = setup
+    texts = [dialogue.text() for dialogue in corpus.dialogues()[:32]]
+
+    if source == "mean_hidden":
+        run = lambda: [llm.embed_text(text) for text in texts]
+    else:
+        run = lambda: [llm.token_embeddings(text) for text in texts]
+    vectors = benchmark(run)
+    assert len(vectors) == 32

@@ -1,0 +1,34 @@
+"""Benchmark E2 — regenerates Figure 2 of the paper (learning curves).
+
+ROUGE-1 versus the number of streamed dialogue sets for the proposed
+framework and the baselines.  The paper's shape: the proposed framework's
+curve rises consistently as more data is seen, while the baselines improve
+only mildly.
+"""
+
+import pytest
+
+from repro.eval.learning_curve import rank_methods
+from repro.experiments import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_learning_curves(benchmark, scale, datasets):
+    result = benchmark.pedantic(
+        lambda: run_figure2(datasets=datasets, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    for dataset in result.datasets:
+        print(f"\n[Figure 2] learning curves on {dataset}\n" + result.format(dataset))
+        curves = [result.curve(dataset, method) for method in result.methods]
+        for curve in curves:
+            assert len(curve.points) >= 2
+            assert all(0.0 <= value <= 1.0 for value in curve.rouge())
+            assert curve.seen() == sorted(curve.seen())
+        ranking = rank_methods(curves)
+        assert len(ranking) == len(result.methods)
+    # The proposed framework must actually learn from the stream.
+    assert any(
+        result.final_improvement(dataset, "ours") > 0.0 for dataset in result.datasets
+    )

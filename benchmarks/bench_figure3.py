@@ -1,0 +1,30 @@
+"""Benchmark E5 — regenerates Figure 3 of the paper.
+
+ROUGE-1 and fine-tuning time per epoch as a function of the number of
+synthesized dialogue sets per buffered original.  The paper's shape: ROUGE-1
+gains saturate (maximum around six extra sets) while training time keeps
+growing with the synthesis count.
+"""
+
+import pytest
+
+from repro.experiments import run_figure3
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_synthesis_sweep(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_figure3(dataset="meddialog", scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Figure 3] synthesis-count sweep (MedDialog analogue)\n" + result.format())
+    assert result.counts == sorted(result.counts)
+    assert all(0.0 <= value <= 1.0 for value in result.rouge_series())
+    assert all(value >= 0.0 for value in result.time_series())
+    # Training time grows with the amount of synthesized data.
+    assert result.time_is_increasing()
+    # Synthesizing some data should not be worse than synthesizing none by a
+    # large margin (the paper shows a net gain up to ~6 extra sets).
+    assert result.rouge_by_count[result.counts[-1]] >= result.rouge_by_count[0] - 0.15
+    assert result.best_count() in result.counts

@@ -1,0 +1,25 @@
+"""Benchmark E4 — regenerates Table 4 of the paper (single-metric ablation).
+
+ROUGE-1 when the replacement policy uses only one of EOE / DSS / IDD versus
+all three together.  The paper's shape: the full method is the best on every
+dataset.
+"""
+
+import pytest
+
+from repro.experiments import run_table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_single_metric_ablation(benchmark, scale, datasets):
+    result = benchmark.pedantic(
+        lambda: run_table4(datasets=datasets, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n[Table 4] single-metric ablation\n" + result.format())
+    for dataset in result.datasets:
+        row = result.scores[dataset]
+        assert set(row) == {"eoe", "dss", "idd", "ours"}
+        assert all(0.0 <= value <= 1.0 for value in row.values())
+    assert 0 <= result.full_method_wins() <= len(result.datasets)

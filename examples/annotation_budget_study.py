@@ -1,0 +1,52 @@
+"""Study the user-annotation burden of the personalization framework.
+
+The paper's motivation is that annotations must be *sparse*: the user is only
+asked for a preferred response when a dialogue set is actually selected into
+the buffer.  This example measures, on a prosocial-companion scenario, how
+many annotation requests each selection policy issues per streamed dialogue
+set, and what happens when the user only answers a fraction of them.
+
+Run with ``python examples/annotation_budget_study.py``.
+"""
+
+from repro.core import AnnotationOracle, FrameworkConfig, PersonalizationFramework, SynthesisConfig
+from repro.experiments import prepare_environment, smoke_scale
+from repro.experiments.common import framework_config_for
+from repro.llm import FineTuneConfig
+
+
+def main() -> None:
+    scale = smoke_scale()
+    env = prepare_environment("prosocial", scale=scale, seed=0)
+    stream_length = len(env.stream_corpus)
+
+    print("annotation requests per policy (same stream, same base model):")
+    print(f"{'policy':>10} {'requests':>10} {'per dialogue':>14} {'final ROUGE-1':>15}")
+    for method in ("fifo", "random", "kcenter", "ours"):
+        config = framework_config_for(scale, method)
+        framework = PersonalizationFramework(
+            env.base_llm.clone(), config=config, lexicons=env.lexicons
+        )
+        result = framework.run(env.make_stream(), evaluator=env.evaluator)
+        print(
+            f"{method:>10} {result.annotation_requests:>10d} "
+            f"{result.annotation_requests / stream_length:>14.2f} "
+            f"{result.final_rouge:>15.4f}"
+        )
+
+    print("\nreluctant-user study (proposed policy, varying response rate):")
+    print(f"{'response rate':>14} {'provided':>10} {'final ROUGE-1':>15}")
+    for response_rate in (1.0, 0.5, 0.2):
+        config = framework_config_for(scale, "ours")
+        oracle = AnnotationOracle(response_rate=response_rate, rng=0)
+        framework = PersonalizationFramework(
+            env.base_llm.clone(), config=config, lexicons=env.lexicons, annotator=oracle
+        )
+        result = framework.run(env.make_stream(), evaluator=env.evaluator)
+        print(
+            f"{response_rate:>14.1f} {oracle.stats.provided:>10d} {result.final_rouge:>15.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

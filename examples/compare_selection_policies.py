@@ -1,0 +1,45 @@
+"""Compare data-selection policies on an empathetic-companion scenario.
+
+Reproduces, at example scale, the comparison behind Table 2 / Figure 2 of the
+paper: the same pre-trained model is personalized four times on the same
+temporally correlated stream (an Empathetic-Dialog analogue), once per
+selection policy (Random Replace, FIFO Replace, K-Center, and the proposed
+quality-score selection), and the resulting ROUGE-1 learning curves are
+printed side by side.
+
+Run with ``python examples/compare_selection_policies.py``.
+"""
+
+from repro.eval.learning_curve import LearningCurve, format_learning_curves, rank_methods
+from repro.experiments import prepare_environment, run_method, smoke_scale
+
+
+def main() -> None:
+    scale = smoke_scale()
+    print("preparing the empathetic-dialog analogue environment ...")
+    env = prepare_environment("empathetic", scale=scale, seed=0)
+    print(
+        f"stream: {len(env.stream_corpus)} dialogue sets "
+        f"(substantive + interaction noise), eval: {len(env.eval_corpus)}"
+    )
+
+    curves = []
+    for method in ("random", "fifo", "kcenter", "ours"):
+        print(f"running selection policy: {method}")
+        result = run_method(env, method)
+        curves.append(LearningCurve.from_result(result))
+        print(
+            f"  final ROUGE-1 {result.final_rouge:.4f} | "
+            f"buffer domains {result.buffer_domain_histogram} | "
+            f"acceptance rate {result.acceptance_rate:.2f}"
+        )
+
+    print("\nlearning curves (ROUGE-1 vs. dialogue sets seen):")
+    print(format_learning_curves(curves))
+    print("\nranking by final ROUGE-1:")
+    for method, score in rank_methods(curves):
+        print(f"  {method:10s} {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: personalize an on-device LLM from a simulated user stream.
+
+This walks through the whole pipeline on a small MedDialog-style scenario:
+
+1. build a synthetic corpus (the dataset analogue) and split it into the
+   streamed part and the held-out evaluation part;
+2. pre-train a small generic on-device LLM (the "deployed" model);
+3. run the personalization framework (self-supervised selection into a small
+   buffer, sparse annotation, data synthesis, LoRA fine-tuning);
+4. report the learning curve and the buffer contents.
+
+Run with ``python examples/quickstart.py``.  Takes well under a minute on CPU.
+"""
+
+from repro.core import FrameworkConfig, PersonalizationFramework, SynthesisConfig
+from repro.data import DialogueCorpus, DialogueStream, StreamConfig, builtin_lexicons, make_generator
+from repro.eval import EvaluationConfig, ResponseEvaluator
+from repro.llm import FineTuneConfig, OnDeviceLLMConfig, PretrainConfig, build_pretrained_llm
+
+
+def main() -> None:
+    lexicons = builtin_lexicons()
+
+    # 1. Data: a MedDialog-like corpus; 30% is streamed (with interaction
+    #    noise), the rest is the held-out evaluation set.
+    generator = make_generator("meddialog", size=120, seed=0, lexicons=lexicons)
+    corpus = generator.generate()
+    stream_split, eval_split = corpus.split(0.3, rng=1)
+    noisy_stream = generator.make_interaction_stream(
+        stream_split.dialogues(), filler_rate=0.25, thin_rate=0.25, rng=2
+    )
+    stream = DialogueStream(
+        DialogueCorpus(noisy_stream, name="user-interaction"),
+        StreamConfig(finetune_interval=14),
+    )
+    print(f"streaming {len(stream)} dialogue sets, evaluating on {len(eval_split)}")
+
+    # 2. The deployed generic model (pre-trained, but knows nothing about this
+    #    user's preferred style).
+    llm = build_pretrained_llm(
+        corpus,
+        llm_config=OnDeviceLLMConfig(dim=32, num_layers=2, num_heads=2, max_seq_len=64),
+        pretrain_config=PretrainConfig(epochs=20, seed=0),
+    )
+
+    # 3. The personalization framework with the paper's selection policy.
+    config = FrameworkConfig(
+        buffer_bins=8,
+        finetune_interval=14,
+        selector="ours",
+        synthesis=SynthesisConfig(num_per_item=3),
+        finetune=FineTuneConfig(epochs=10, batch_size=8, learning_rate=1e-2),
+    )
+    framework = PersonalizationFramework(llm, config=config, lexicons=lexicons)
+    evaluator = ResponseEvaluator.from_corpus(
+        eval_split, EvaluationConfig(subset_size=24, greedy=True, max_new_tokens=22)
+    )
+    result = framework.run(stream, evaluator=evaluator)
+
+    # 4. Report.
+    print("\nlearning curve (seen dialogue sets -> ROUGE-1):")
+    for point in result.learning_curve:
+        print(f"  {point.seen:4d}  {point.rouge_1:.4f}")
+    print(f"\nROUGE-1 before personalization: {result.initial_rouge:.4f}")
+    print(f"ROUGE-1 after  personalization: {result.final_rouge:.4f}")
+    print(f"annotation requests made to the user: {result.annotation_requests}")
+    print(f"synthesized dialogue sets: {result.synthesized_total}")
+    print(f"buffer domains: {result.buffer_domain_histogram}")
+
+    question = eval_split[0].question
+    print(f"\nsample question: {question}")
+    print(f"personalized answer: {llm.respond(question)}")
+
+
+if __name__ == "__main__":
+    main()

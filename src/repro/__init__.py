@@ -1,0 +1,81 @@
+"""repro — reproduction of "Enabling On-Device Large Language Model
+Personalization with Self-Supervised Data Selection and Synthesis" (DAC 2024).
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn` — numpy autograd, transformer, LoRA, optimizers;
+* :mod:`repro.tokenizer` — word tokenizer and vocabulary;
+* :mod:`repro.llm` — the on-device LLM wrapper (embedding, generation,
+  LoRA fine-tuning, pre-training);
+* :mod:`repro.textmetrics` — ROUGE, similarity and entropy measures;
+* :mod:`repro.data` — domain lexicons, dialogue sets, synthetic corpora and
+  the temporally-correlated stream simulator;
+* :mod:`repro.core` — the paper's contribution: EOE/DSS/IDD quality metrics,
+  the bin buffer, the selection policies (proposed + baselines), sparse
+  annotation, data synthesis and the end-to-end personalization framework;
+* :mod:`repro.eval` — ROUGE-1 evaluation and learning curves;
+* :mod:`repro.experiments` — runners regenerating every table and figure.
+
+Quickstart::
+
+    from repro.data import make_corpus
+    from repro.experiments import prepare_environment, run_method, smoke_scale
+
+    env = prepare_environment("meddialog", scale=smoke_scale())
+    result = run_method(env, "ours")
+    print(result.final_rouge, result.learning_curve)
+"""
+
+from repro.core import (
+    AnnotationOracle,
+    DataBuffer,
+    DataSynthesizer,
+    FrameworkConfig,
+    PersonalizationFramework,
+    PersonalizationResult,
+    QualityScoreSelector,
+    QualityScorer,
+    QualityScores,
+    SynthesisConfig,
+    make_selector,
+    run_personalization,
+)
+from repro.data import (
+    DialogueCorpus,
+    DialogueSet,
+    DialogueStream,
+    LexiconCollection,
+    builtin_lexicons,
+    make_corpus,
+)
+from repro.eval import ResponseEvaluator
+from repro.llm import FineTuneConfig, LoRAFineTuner, OnDeviceLLM, OnDeviceLLMConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationOracle",
+    "DataBuffer",
+    "DataSynthesizer",
+    "DialogueCorpus",
+    "DialogueSet",
+    "DialogueStream",
+    "FineTuneConfig",
+    "FrameworkConfig",
+    "LexiconCollection",
+    "LoRAFineTuner",
+    "OnDeviceLLM",
+    "OnDeviceLLMConfig",
+    "PersonalizationFramework",
+    "PersonalizationResult",
+    "QualityScoreSelector",
+    "QualityScorer",
+    "QualityScores",
+    "ResponseEvaluator",
+    "SynthesisConfig",
+    "builtin_lexicons",
+    "make_corpus",
+    "make_selector",
+    "run_personalization",
+    "__version__",
+]

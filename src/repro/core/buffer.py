@@ -1,0 +1,189 @@
+"""The on-device data buffer.
+
+The buffer is divided into equal-size bins; each bin holds one dialogue set's
+text, its dominant domain and its embedding vector (Section 4.1 of the paper:
+"we divide it into bins of equal size and each bin is able to hold the text of
+one dialog set, its domain as well as its embedding").  Storing the embedding
+means it never has to be recomputed when later arrivals are compared against
+the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.metrics import QualityScores
+from repro.data.dialogue import DialogueSet
+from repro.utils.config import require_positive
+
+
+@dataclass
+class BufferEntry:
+    """One occupied bin: the dialogue set plus everything cached about it."""
+
+    dialogue: DialogueSet
+    embedding: np.ndarray
+    dominant_domain: Optional[str]
+    scores: Optional[QualityScores] = None
+    annotated: bool = False
+    arrival_index: int = 0
+
+    def text(self) -> str:
+        """The dialogue text held in this bin."""
+        return self.dialogue.text()
+
+
+@dataclass
+class BufferGeometry:
+    """Physical sizing of the buffer, mirroring the paper's KB accounting.
+
+    The paper assumes a dialogue set of at most 1024 tokens and a 4096-float
+    embedding, giving a 22 KB bin; with our small model the real footprint is
+    much smaller, but the same accounting is reproduced so buffer sizes can be
+    reported in the paper's units.
+    """
+
+    max_text_tokens: int = 1024
+    embedding_dim: int = 4096
+    bytes_per_token: float = 6.0
+    bytes_per_float: int = 4
+
+    def bin_size_bytes(self) -> int:
+        """Size of one bin in bytes."""
+        text_bytes = self.max_text_tokens * self.bytes_per_token
+        embedding_bytes = self.embedding_dim * self.bytes_per_float
+        return int(text_bytes + embedding_bytes)
+
+    def bin_size_kb(self) -> float:
+        """Size of one bin in kilobytes (1 KB = 1024 bytes)."""
+        return self.bin_size_bytes() / 1024.0
+
+    def buffer_size_kb(self, num_bins: int) -> float:
+        """Total buffer size in KB for ``num_bins`` bins."""
+        return self.bin_size_kb() * num_bins
+
+    @staticmethod
+    def paper_default() -> "BufferGeometry":
+        """The geometry that yields the paper's 22 KB bins."""
+        return BufferGeometry(
+            max_text_tokens=1024, embedding_dim=4096, bytes_per_token=6.0, bytes_per_float=4
+        )
+
+
+class DataBuffer:
+    """Fixed-capacity bin buffer holding the selected dialogue sets."""
+
+    def __init__(self, num_bins: int, geometry: Optional[BufferGeometry] = None) -> None:
+        require_positive("num_bins", num_bins)
+        self.num_bins = int(num_bins)
+        self.geometry = geometry or BufferGeometry.paper_default()
+        self._entries: List[BufferEntry] = []
+        self._replacements = 0
+        self._insertions = 0
+
+    # -- container protocol ------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BufferEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> BufferEntry:
+        return self._entries[index]
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of dialogue sets the buffer can hold."""
+        return self.num_bins
+
+    def is_full(self) -> bool:
+        """True when every bin is occupied."""
+        return len(self._entries) >= self.num_bins
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    # -- statistics ---------------------------------------------------------- #
+    @property
+    def insertion_count(self) -> int:
+        """Total number of dialogue sets ever inserted (including replacements)."""
+        return self._insertions
+
+    @property
+    def replacement_count(self) -> int:
+        """Number of insertions that evicted an existing entry."""
+        return self._replacements
+
+    def size_kb(self) -> float:
+        """Nominal buffer size in KB under the configured geometry."""
+        return self.geometry.buffer_size_kb(self.num_bins)
+
+    def occupancy(self) -> float:
+        """Fraction of bins currently occupied."""
+        return len(self._entries) / self.num_bins
+
+    def domain_histogram(self) -> Dict[str, int]:
+        """Dominant-domain counts over the buffered entries."""
+        histogram: Dict[str, int] = {}
+        for entry in self._entries:
+            key = entry.dominant_domain or "<none>"
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    # -- content access ------------------------------------------------------ #
+    def entries(self) -> List[BufferEntry]:
+        """All occupied bins (copy of the list)."""
+        return list(self._entries)
+
+    def dialogues(self) -> List[DialogueSet]:
+        """The buffered dialogue sets."""
+        return [entry.dialogue for entry in self._entries]
+
+    def embeddings(self) -> np.ndarray:
+        """Stacked embeddings of all entries, shape ``(len(buffer), dim)``."""
+        if not self._entries:
+            return np.zeros((0, 0))
+        return np.stack([np.asarray(entry.embedding, dtype=np.float64) for entry in self._entries])
+
+    def entries_in_domain(self, domain: Optional[str]) -> List[BufferEntry]:
+        """Entries whose dominant domain equals ``domain``."""
+        return [entry for entry in self._entries if entry.dominant_domain == domain]
+
+    def embeddings_in_domain(self, domain: Optional[str]) -> List[np.ndarray]:
+        """Embeddings of the entries sharing dominant domain ``domain``.
+
+        This is the ``E^i_{Dom_d}`` collection the IDD metric averages over.
+        """
+        return [entry.embedding for entry in self.entries_in_domain(domain)]
+
+    # -- mutation ------------------------------------------------------------ #
+    def add(self, entry: BufferEntry) -> int:
+        """Append ``entry`` to a free bin; returns its index.
+
+        Raises ``RuntimeError`` when the buffer is already full — callers must
+        use :meth:`replace` in that case (the decision of *which* bin to evict
+        belongs to the selection policy, not to the buffer).
+        """
+        if self.is_full():
+            raise RuntimeError("buffer is full; use replace() with an explicit victim index")
+        self._entries.append(entry)
+        self._insertions += 1
+        return len(self._entries) - 1
+
+    def replace(self, index: int, entry: BufferEntry) -> BufferEntry:
+        """Replace the entry at ``index`` with ``entry``; returns the evicted one."""
+        if not 0 <= index < len(self._entries):
+            raise IndexError(f"buffer index {index} out of range [0, {len(self._entries)})")
+        evicted = self._entries[index]
+        self._entries[index] = entry
+        self._insertions += 1
+        self._replacements += 1
+        return evicted
+
+    def clear(self) -> None:
+        """Remove every entry (the paper does *not* clear after fine-tuning;
+        this exists for tests and ablations)."""
+        self._entries.clear()

@@ -1,0 +1,254 @@
+"""The on-device LLM personalization framework (Section 3.1 of the paper).
+
+The framework drives the three stages end to end over a streaming corpus:
+
+1. **Selection** — every incoming dialogue set is offered to the selection
+   policy (the paper's quality-score policy or any baseline); accepted sets
+   are annotated by the (simulated) user and stored in the bin buffer.
+2. **Synthesis** — right before each fine-tuning round, semantically similar
+   dialogue sets are synthesized from the buffered originals and pass a
+   ROUGE-1 sanity check.
+3. **Fine-tuning** — the buffered + synthesized sets fine-tune the on-device
+   LLM with LoRA and AdamW.  Fine-tuning triggers every ``finetune_interval``
+   dialogue sets received; the buffer is *not* cleared afterwards.
+
+The run method records a learning curve (ROUGE-1 against a held-out evaluator
+as a function of the number of dialogue sets seen), which is the profiling
+tool used for Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.annotation import AnnotationOracle
+from repro.core.baselines import make_selector
+from repro.core.buffer import BufferGeometry, DataBuffer
+from repro.core.metrics import QualityScorer
+from repro.core.selector import SelectionDecision, SelectionPolicy
+from repro.core.synthesis import DataSynthesizer, SynthesisConfig
+from repro.data.dialogue import DialogueSet
+from repro.data.lexicons import LexiconCollection, builtin_lexicons
+from repro.data.stream import DialogueStream
+from repro.llm.finetune import FineTuneConfig, FineTuneReport, LoRAFineTuner
+from repro.llm.model import OnDeviceLLM
+from repro.utils.config import require_positive
+from repro.utils.logging import EventRecorder
+from repro.utils.rng import as_generator
+from repro.utils.timing import SectionTimer
+
+Evaluator = Callable[[OnDeviceLLM], float]
+
+
+@dataclass
+class FrameworkConfig:
+    """End-to-end configuration of the personalization framework."""
+
+    buffer_bins: int = 32
+    finetune_interval: int = 800
+    selector: str = "ours"
+    annotation_rate: float = 1.0
+    regenerate_responses: bool = False
+    finetune_on_partial_chunk: bool = True
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    finetune: FineTuneConfig = field(default_factory=FineTuneConfig)
+    geometry: BufferGeometry = field(default_factory=BufferGeometry.paper_default)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("buffer_bins", self.buffer_bins)
+        require_positive("finetune_interval", self.finetune_interval)
+
+
+@dataclass
+class LearningCurvePoint:
+    """ROUGE-1 measured after having seen ``seen`` dialogue sets."""
+
+    seen: int
+    rouge_1: float
+    finetune_round: int
+
+
+@dataclass
+class PersonalizationResult:
+    """Everything a personalization run produced."""
+
+    selector_name: str
+    learning_curve: List[LearningCurvePoint] = field(default_factory=list)
+    finetune_reports: List[FineTuneReport] = field(default_factory=list)
+    total_seen: int = 0
+    annotation_requests: int = 0
+    synthesized_total: int = 0
+    buffer_domain_histogram: dict = field(default_factory=dict)
+    buffer_occupancy: float = 0.0
+    acceptance_rate: float = 0.0
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def final_rouge(self) -> float:
+        """ROUGE-1 at the end of the run (0.0 when never evaluated)."""
+        if not self.learning_curve:
+            return 0.0
+        return self.learning_curve[-1].rouge_1
+
+    @property
+    def initial_rouge(self) -> float:
+        """ROUGE-1 before any fine-tuning (0.0 when never evaluated)."""
+        if not self.learning_curve:
+            return 0.0
+        return self.learning_curve[0].rouge_1
+
+    def improvement(self) -> float:
+        """Final minus initial ROUGE-1."""
+        return self.final_rouge - self.initial_rouge
+
+
+class PersonalizationFramework:
+    """Drives selection, annotation, synthesis and fine-tuning over a stream."""
+
+    def __init__(
+        self,
+        llm: OnDeviceLLM,
+        config: Optional[FrameworkConfig] = None,
+        lexicons: Optional[LexiconCollection] = None,
+        annotator: Optional[AnnotationOracle] = None,
+        selector: Optional[SelectionPolicy] = None,
+    ) -> None:
+        self.llm = llm
+        self.config = config or FrameworkConfig()
+        self.lexicons = lexicons or builtin_lexicons()
+        rng = as_generator(self.config.seed)
+
+        self.buffer = DataBuffer(self.config.buffer_bins, geometry=self.config.geometry)
+        self.scorer = QualityScorer(llm, self.lexicons)
+        if selector is not None:
+            self.selector = selector
+        else:
+            self.selector = make_selector(self.config.selector, self.buffer, self.scorer, rng=rng)
+        self.annotator = annotator or AnnotationOracle(
+            response_rate=self.config.annotation_rate, rng=rng
+        )
+        self.synthesizer = DataSynthesizer(llm, self.config.synthesis, rng=rng)
+        self.finetuner = LoRAFineTuner(llm, self.config.finetune)
+        self.recorder = EventRecorder()
+        self.timer = SectionTimer()
+        self._seen = 0
+        self._finetune_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # single-dialogue processing (stage 1)
+    # ------------------------------------------------------------------ #
+    def process_dialogue(self, dialogue: DialogueSet) -> SelectionDecision:
+        """Run the selection (and, if accepted, annotation) stage for one set."""
+        self._seen += 1
+        if self.config.regenerate_responses:
+            with self.timer.section("generation"):
+                dialogue = dialogue.with_response(self.llm.respond(dialogue.question))
+        with self.timer.section("selection"):
+            decision = self.selector.offer(dialogue)
+        if decision.accepted and decision.entry is not None:
+            with self.timer.section("annotation"):
+                annotated = self.annotator.annotate(decision.entry.dialogue)
+            decision.entry.dialogue = annotated
+            decision.entry.annotated = True
+            self.recorder.record(
+                "buffer_insert",
+                seen=self._seen,
+                replaced=decision.was_replacement,
+                domain=decision.entry.dominant_domain,
+            )
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # synthesis + fine-tuning (stages 2 and 3)
+    # ------------------------------------------------------------------ #
+    def finetune_round(self) -> FineTuneReport:
+        """Synthesize from the buffer and run one LoRA fine-tuning round."""
+        originals = self.buffer.dialogues()
+        with self.timer.section("synthesis"):
+            synthesized = self.synthesizer.synthesize(originals)
+        training_data = originals + synthesized
+        with self.timer.section("finetune"):
+            report = self.finetuner.finetune(training_data)
+        self._finetune_rounds += 1
+        self.recorder.record(
+            "finetune_round",
+            round=self._finetune_rounds,
+            originals=len(originals),
+            synthesized=len(synthesized),
+            final_loss=report.final_loss,
+            seconds=report.seconds_total,
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # full streaming run
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stream: DialogueStream,
+        evaluator: Optional[Evaluator] = None,
+        evaluate_initial: bool = True,
+    ) -> PersonalizationResult:
+        """Process a whole stream, fine-tuning every ``finetune_interval`` sets.
+
+        ``evaluator`` is called with the LLM after every fine-tuning round (and
+        optionally once before any data is seen) to build the learning curve.
+        """
+        result = PersonalizationResult(selector_name=self.selector.name)
+        reports: List[FineTuneReport] = []
+
+        if evaluator is not None and evaluate_initial:
+            with self.timer.section("evaluation"):
+                initial = evaluator(self.llm)
+            result.learning_curve.append(
+                LearningCurvePoint(seen=0, rouge_1=initial, finetune_round=0)
+            )
+
+        for chunk in stream.chunks():
+            for dialogue in chunk:
+                self.process_dialogue(dialogue)
+            is_full_chunk = len(chunk) >= self.config.finetune_interval
+            if not is_full_chunk and not self.config.finetune_on_partial_chunk:
+                continue
+            if self.buffer.is_empty():
+                continue
+            report = self.finetune_round()
+            reports.append(report)
+            if evaluator is not None:
+                with self.timer.section("evaluation"):
+                    score = evaluator(self.llm)
+                result.learning_curve.append(
+                    LearningCurvePoint(
+                        seen=self._seen, rouge_1=score, finetune_round=self._finetune_rounds
+                    )
+                )
+
+        result.finetune_reports = reports
+        result.total_seen = self._seen
+        result.annotation_requests = self.annotator.request_count
+        result.synthesized_total = self.synthesizer.stats.generated
+        result.buffer_domain_histogram = self.buffer.domain_histogram()
+        result.buffer_occupancy = self.buffer.occupancy()
+        result.acceptance_rate = self.selector.acceptance_rate()
+        result.timings = self.timer.summary()
+        return result
+
+
+def run_personalization(
+    llm: OnDeviceLLM,
+    dialogues: Sequence[DialogueSet],
+    config: Optional[FrameworkConfig] = None,
+    lexicons: Optional[LexiconCollection] = None,
+    evaluator: Optional[Evaluator] = None,
+) -> PersonalizationResult:
+    """Convenience wrapper: run the framework over a plain list of dialogues."""
+    from repro.data.dialogue import DialogueCorpus
+    from repro.data.stream import StreamConfig
+
+    config = config or FrameworkConfig()
+    corpus = DialogueCorpus(list(dialogues), name="adhoc")
+    stream = DialogueStream(corpus, StreamConfig(finetune_interval=config.finetune_interval))
+    framework = PersonalizationFramework(llm, config=config, lexicons=lexicons)
+    return framework.run(stream, evaluator=evaluator)

@@ -1,0 +1,164 @@
+"""Data-selection policies: the common interface and the paper's policy.
+
+A selection policy watches the input stream one dialogue set at a time and
+maintains the data buffer.  The paper's :class:`QualityScoreSelector` uses the
+three self-supervised quality metrics and a strict-dominance replacement rule;
+the vanilla baselines (random, FIFO, K-Center, single-metric ablations) live
+in :mod:`repro.core.baselines` and share the same interface so the framework
+can drive any of them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.buffer import BufferEntry, DataBuffer
+from repro.core.metrics import QualityScorer, QualityScores
+from repro.data.dialogue import DialogueSet
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class SelectionDecision:
+    """What happened when a dialogue set was offered to the policy."""
+
+    accepted: bool
+    entry: Optional[BufferEntry] = None
+    replaced_index: Optional[int] = None
+    evicted: Optional[BufferEntry] = None
+    scores: Optional[QualityScores] = None
+
+    @property
+    def was_replacement(self) -> bool:
+        """True when an existing buffer entry was evicted."""
+        return self.replaced_index is not None
+
+
+class SelectionPolicy:
+    """Base class: owns the buffer, scores arrivals, decides replacements."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        buffer: DataBuffer,
+        scorer: QualityScorer,
+        rng=None,
+    ) -> None:
+        self.buffer = buffer
+        self.scorer = scorer
+        self._rng = as_generator(rng)
+        self._offered = 0
+        self._accepted = 0
+
+    # -- statistics ---------------------------------------------------------- #
+    @property
+    def offered_count(self) -> int:
+        """Number of dialogue sets offered to the policy so far."""
+        return self._offered
+
+    @property
+    def accepted_count(self) -> int:
+        """Number of offered dialogue sets that entered the buffer."""
+        return self._accepted
+
+    def acceptance_rate(self) -> float:
+        """Accepted / offered (0.0 before anything was offered)."""
+        if self._offered == 0:
+            return 0.0
+        return self._accepted / self._offered
+
+    # -- main entry point ----------------------------------------------------- #
+    def offer(self, dialogue: DialogueSet) -> SelectionDecision:
+        """Offer one incoming dialogue set to the policy."""
+        self._offered += 1
+        decision = self._decide(dialogue)
+        if decision.accepted:
+            self._accepted += 1
+        return decision
+
+    # -- helpers shared by subclasses ------------------------------------------ #
+    def _build_entry(
+        self, dialogue: DialogueSet, scores: Optional[QualityScores] = None
+    ) -> BufferEntry:
+        """Create a buffer entry (embedding + dominant domain are cached here)."""
+        text = dialogue.text()
+        embedding = self.scorer.embed(text)
+        domain = self.scorer.dominant_domain(text)
+        return BufferEntry(
+            dialogue=dialogue,
+            embedding=embedding,
+            dominant_domain=domain,
+            scores=scores,
+            arrival_index=self._offered,
+        )
+
+    def _insert(self, entry: BufferEntry, victim_index: Optional[int]) -> SelectionDecision:
+        """Add or replace depending on whether a victim index was chosen."""
+        if victim_index is None:
+            self.buffer.add(entry)
+            return SelectionDecision(accepted=True, entry=entry, scores=entry.scores)
+        evicted = self.buffer.replace(victim_index, entry)
+        return SelectionDecision(
+            accepted=True,
+            entry=entry,
+            replaced_index=victim_index,
+            evicted=evicted,
+            scores=entry.scores,
+        )
+
+    def _decide(self, dialogue: DialogueSet) -> SelectionDecision:
+        raise NotImplementedError
+
+
+class QualityScoreSelector(SelectionPolicy):
+    """The paper's quality-score-based data selection policy.
+
+    For each incoming dialogue set the EOE, DSS and IDD scores are computed
+    (against the current buffer state) and compared with the stored scores of
+    every buffered entry.  While the buffer has free bins the new set is
+    simply stored.  Once full, the new set replaces a buffered set only if it
+    is strictly higher on *all three* metrics; when several buffered sets are
+    dominated, the victim is chosen uniformly at random, exactly as described
+    in Section 3.2.  The policy is linear in the buffer size per arrival.
+    """
+
+    name = "ours"
+
+    def _decide(self, dialogue: DialogueSet) -> SelectionDecision:
+        text = dialogue.text()
+        token_embeddings = self.scorer.embedder.token_embeddings(text)
+        text_embedding = np.asarray(token_embeddings, dtype=np.float64).mean(axis=0)
+        domain = self.scorer.dominant_domain(text)
+        same_domain = self.buffer.embeddings_in_domain(domain)
+        all_embeddings = [entry.embedding for entry in self.buffer]
+        scores = self.scorer.score(
+            text,
+            same_domain,
+            token_embeddings=token_embeddings,
+            text_embedding=text_embedding,
+            fallback_embeddings=all_embeddings,
+        )
+        entry = BufferEntry(
+            dialogue=dialogue,
+            embedding=text_embedding,
+            dominant_domain=domain,
+            scores=scores,
+            arrival_index=self._offered,
+        )
+
+        if not self.buffer.is_full():
+            return self._insert(entry, None)
+
+        dominated: List[int] = [
+            index
+            for index, existing in enumerate(self.buffer)
+            if existing.scores is not None and scores.dominates(existing.scores)
+        ]
+        if not dominated:
+            return SelectionDecision(accepted=False, scores=scores)
+        victim = int(self._rng.choice(dominated))
+        return self._insert(entry, victim)

@@ -1,0 +1,61 @@
+"""Data substrate: lexicons, dialogue structures, synthetic corpora, streams."""
+
+from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.data.lexicons import (
+    DomainLexicon,
+    LexiconCollection,
+    builtin_domain_names,
+    builtin_lexicons,
+)
+from repro.data.persona import UserPersona, generic_model_response
+from repro.data.stream import (
+    DialogueStream,
+    StreamConfig,
+    reorder_with_correlation,
+    temporal_correlation_index,
+)
+from repro.data.synthetic import (
+    DATASET_NAMES,
+    QUALITY_FILLER,
+    QUALITY_RICH,
+    QUALITY_THIN,
+    STRONGLY_CORRELATED,
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+    corpus_persona,
+    dataset_preset,
+    make_all_corpora,
+    make_corpus,
+    make_corpus_config,
+    make_generator,
+    stream_noise_preset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DialogueCorpus",
+    "DialogueSet",
+    "DialogueStream",
+    "DomainLexicon",
+    "LexiconCollection",
+    "QUALITY_FILLER",
+    "QUALITY_RICH",
+    "QUALITY_THIN",
+    "STRONGLY_CORRELATED",
+    "StreamConfig",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpusGenerator",
+    "UserPersona",
+    "builtin_domain_names",
+    "builtin_lexicons",
+    "corpus_persona",
+    "dataset_preset",
+    "generic_model_response",
+    "make_all_corpora",
+    "make_corpus",
+    "make_corpus_config",
+    "make_generator",
+    "reorder_with_correlation",
+    "stream_noise_preset",
+    "temporal_correlation_index",
+]

@@ -1,0 +1,138 @@
+"""Streaming-data simulation.
+
+On the device, dialogue sets arrive one at a time from the user–LLM
+interaction; they are *not* i.i.d. samples from the dataset but a temporally
+correlated stream.  This module turns a :class:`DialogueCorpus` into such a
+stream, exposes a measure of how temporally correlated an ordering is, and
+provides the chunking used to trigger fine-tuning every ``N`` dialogue sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.utils.config import require_in_unit_interval, require_positive
+from repro.utils.rng import as_generator
+
+
+def temporal_correlation_index(dialogues: Sequence[DialogueSet]) -> float:
+    """Fraction of adjacent pairs that share the same ground-truth domain.
+
+    Filler items (domain ``None``) are skipped.  Returns 0.0 when fewer than
+    two labelled items are present.
+    """
+    labelled = [d.domain for d in dialogues if d.domain is not None]
+    if len(labelled) < 2:
+        return 0.0
+    same = sum(1 for a, b in zip(labelled, labelled[1:]) if a == b)
+    return same / (len(labelled) - 1)
+
+
+def reorder_with_correlation(
+    corpus: DialogueCorpus, correlation: float, rng=None
+) -> List[DialogueSet]:
+    """Reorder a corpus to approximately match a target temporal correlation.
+
+    ``correlation = 0`` produces a uniform shuffle; ``correlation = 1``
+    produces contiguous per-domain blocks; intermediate values interpolate by
+    building domain blocks and then swapping a fraction of positions.
+    """
+    require_in_unit_interval("correlation", correlation)
+    generator = as_generator(rng)
+    dialogues = corpus.dialogues()
+    if correlation <= 0.0:
+        indices = generator.permutation(len(dialogues))
+        return [dialogues[int(i)] for i in indices]
+
+    # Group into per-domain blocks (filler goes into its own pseudo-domain),
+    # shuffle the block order, then concatenate.
+    blocks: Dict[str, List[DialogueSet]] = {}
+    for dialogue in dialogues:
+        blocks.setdefault(dialogue.domain or "<filler>", []).append(dialogue)
+    block_names = list(blocks)
+    generator.shuffle(block_names)
+    ordered: List[DialogueSet] = []
+    for name in block_names:
+        items = list(blocks[name])
+        generator.shuffle(items)
+        ordered.extend(items)
+
+    # Random transpositions reduce correlation towards the target.
+    swap_fraction = 1.0 - correlation
+    num_swaps = int(swap_fraction * len(ordered))
+    for _ in range(num_swaps):
+        i, j = generator.integers(0, len(ordered), size=2)
+        ordered[int(i)], ordered[int(j)] = ordered[int(j)], ordered[int(i)]
+    return ordered
+
+
+@dataclass
+class StreamConfig:
+    """Configuration of the streaming simulation."""
+
+    finetune_interval: int = 800
+    preserve_corpus_order: bool = True
+    target_correlation: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("finetune_interval", self.finetune_interval)
+        if self.target_correlation is not None:
+            require_in_unit_interval("target_correlation", self.target_correlation)
+
+
+class DialogueStream:
+    """An iterator over dialogue sets with fine-tuning trigger points.
+
+    The paper starts a fine-tuning round every 800 dialogue sets received;
+    :meth:`chunks` yields the stream in such intervals so the framework can
+    interleave selection and fine-tuning exactly the same way.
+    """
+
+    def __init__(self, corpus: DialogueCorpus, config: Optional[StreamConfig] = None) -> None:
+        self.config = config or StreamConfig()
+        if self.config.preserve_corpus_order and self.config.target_correlation is None:
+            self._ordered = corpus.dialogues()
+        else:
+            correlation = (
+                self.config.target_correlation
+                if self.config.target_correlation is not None
+                else temporal_correlation_index(corpus.dialogues())
+            )
+            self._ordered = reorder_with_correlation(
+                corpus, correlation, rng=self.config.seed
+            )
+        self.name = corpus.name
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[DialogueSet]:
+        return iter(self._ordered)
+
+    def dialogues(self) -> List[DialogueSet]:
+        """The stream as a list, in arrival order."""
+        return list(self._ordered)
+
+    def correlation_index(self) -> float:
+        """Temporal correlation of this stream's ordering."""
+        return temporal_correlation_index(self._ordered)
+
+    def chunks(self) -> Iterator[List[DialogueSet]]:
+        """Yield consecutive chunks of ``finetune_interval`` dialogue sets.
+
+        The final, possibly shorter chunk is also yielded so that no data is
+        silently dropped; the framework decides whether to fine-tune on it.
+        """
+        interval = self.config.finetune_interval
+        for start in range(0, len(self._ordered), interval):
+            yield self._ordered[start : start + interval]
+
+    def num_finetune_rounds(self) -> int:
+        """Number of chunks the stream will produce."""
+        interval = self.config.finetune_interval
+        return (len(self._ordered) + interval - 1) // interval

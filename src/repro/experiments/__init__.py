@@ -1,0 +1,58 @@
+"""Experiment runners reproducing every table and figure of the paper."""
+
+from repro.experiments.common import (
+    ABLATION_METHODS,
+    DEFAULT_METHODS,
+    ExperimentEnvironment,
+    MethodScore,
+    comparison_scores,
+    format_table,
+    framework_config_for,
+    mean_final_rouge,
+    prepare_environment,
+    run_method,
+    run_method_comparison,
+    run_method_mean,
+)
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.presets import (
+    ExperimentScale,
+    get_scale,
+    paper_scale,
+    small_scale,
+    smoke_scale,
+)
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+
+__all__ = [
+    "ABLATION_METHODS",
+    "DEFAULT_METHODS",
+    "ExperimentEnvironment",
+    "ExperimentScale",
+    "Figure2Result",
+    "Figure3Result",
+    "MethodScore",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "comparison_scores",
+    "format_table",
+    "framework_config_for",
+    "get_scale",
+    "paper_scale",
+    "mean_final_rouge",
+    "prepare_environment",
+    "run_figure2",
+    "run_figure3",
+    "run_method",
+    "run_method_comparison",
+    "run_method_mean",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "small_scale",
+    "smoke_scale",
+]

@@ -1,0 +1,94 @@
+"""Experiment E5 — Figure 3 of the paper.
+
+ROUGE-1 and training time per epoch on the MedDialog analogue as a function
+of the number of additional dialogue sets synthesized for each original
+buffered set.  The paper finds ROUGE-1 gains saturating around six extra sets
+while training time keeps growing roughly linearly; the default of three is a
+balance between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.framework import PersonalizationResult
+from repro.experiments.common import mean_final_rouge, prepare_environment, run_method_mean
+from repro.experiments.presets import ExperimentScale, get_scale
+
+
+@dataclass
+class Figure3Result:
+    """ROUGE-1 and seconds/epoch per synthesis count."""
+
+    dataset: str
+    counts: List[int] = field(default_factory=list)
+    rouge_by_count: Dict[int, float] = field(default_factory=dict)
+    seconds_per_epoch_by_count: Dict[int, float] = field(default_factory=dict)
+    results: Dict[int, PersonalizationResult] = field(default_factory=dict)
+
+    def rouge_series(self) -> List[float]:
+        """ROUGE-1 ordered by increasing synthesis count."""
+        return [self.rouge_by_count[count] for count in self.counts]
+
+    def time_series(self) -> List[float]:
+        """Seconds per fine-tuning epoch ordered by increasing synthesis count."""
+        return [self.seconds_per_epoch_by_count[count] for count in self.counts]
+
+    def time_is_increasing(self, tolerance: float = 0.25) -> bool:
+        """Whether training time grows with the synthesis count.
+
+        Compared via a least-squares slope so that single-measurement CPU
+        timing jitter does not flip the verdict; ``tolerance`` is the allowed
+        negative slope as a fraction of the mean epoch time.
+        """
+        times = np.asarray(self.time_series(), dtype=np.float64)
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if len(times) < 2 or float(times.mean()) == 0.0:
+            return True
+        slope = float(np.polyfit(counts, times, deg=1)[0])
+        return slope >= -tolerance * float(times.mean())
+
+    def best_count(self) -> int:
+        """Synthesis count achieving the highest ROUGE-1."""
+        return max(self.counts, key=lambda count: self.rouge_by_count[count])
+
+    def format(self) -> str:
+        """Plain-text table: count, ROUGE-1, seconds/epoch."""
+        lines = ["#generated    ROUGE-1    sec/epoch"]
+        for count in self.counts:
+            lines.append(
+                f"{count:>10d}    {self.rouge_by_count[count]:.4f}    "
+                f"{self.seconds_per_epoch_by_count[count]:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_figure3(
+    dataset: str = "meddialog",
+    counts: Optional[Sequence[int]] = None,
+    scale: Optional[ExperimentScale] = None,
+    method: str = "ours",
+    seed: int = 0,
+    num_seeds: int = 1,
+) -> Figure3Result:
+    """Sweep the number of synthesized sets per original buffered set."""
+    scale = scale or get_scale(seed=seed)
+    counts = list(counts if counts is not None else scale.synthesis_sweep)
+    env = prepare_environment(dataset, scale=scale, seed=seed)
+
+    figure = Figure3Result(dataset=dataset, counts=counts)
+    for count in counts:
+        repeats = run_method_mean(env, method, num_seeds=num_seeds, synthesis_per_item=count)
+        result = repeats[0]
+        figure.results[count] = result
+        figure.rouge_by_count[count] = mean_final_rouge(repeats)
+        seconds = [
+            report.seconds_per_epoch
+            for repeat in repeats
+            for report in repeat.finetune_reports
+        ]
+        figure.seconds_per_epoch_by_count[count] = float(np.mean(seconds)) if seconds else 0.0
+    return figure

@@ -1,0 +1,67 @@
+"""Experiment E4 — Table 4 of the paper.
+
+Single-metric ablation: the framework restricted to only one of the three
+quality metrics (EOE, DSS or IDD) for data replacement, compared against the
+full method on all six dataset analogues with the default buffer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import PersonalizationResult
+from repro.data.synthetic import DATASET_NAMES
+from repro.experiments.common import (
+    ABLATION_METHODS,
+    comparison_scores,
+    format_table,
+    prepare_environment,
+    run_method_comparison,
+)
+from repro.experiments.presets import ExperimentScale, get_scale
+
+
+@dataclass
+class Table4Result:
+    """ROUGE-1 per dataset for EOE-only / DSS-only / IDD-only / full method."""
+
+    scores: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    results: Dict[str, Dict[str, PersonalizationResult]] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+    datasets: List[str] = field(default_factory=list)
+
+    def score(self, dataset: str, method: str) -> float:
+        """ROUGE-1 of ``method`` on ``dataset``."""
+        return self.scores[dataset][method]
+
+    def full_method_wins(self, method: str = "ours") -> int:
+        """Number of datasets where the full method beats every single metric."""
+        wins = 0
+        for dataset in self.datasets:
+            row = self.scores[dataset]
+            if all(row[method] >= value for name, value in row.items() if name != method):
+                wins += 1
+        return wins
+
+    def format(self) -> str:
+        """Plain-text rendering in the paper's row/column layout."""
+        return format_table(self.datasets, self.methods, self.scores)
+
+
+def run_table4(
+    datasets: Sequence[str] = DATASET_NAMES,
+    methods: Sequence[str] = ABLATION_METHODS,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    num_seeds: int = 1,
+) -> Table4Result:
+    """Run the single-metric ablation (averaged over ``num_seeds`` seeds)."""
+    scale = scale or get_scale(seed=seed)
+    table = Table4Result(methods=list(methods), datasets=list(datasets))
+    for dataset in datasets:
+        env = prepare_environment(dataset, scale=scale, seed=seed)
+        results = run_method_comparison(env, methods=methods, num_seeds=num_seeds)
+        table.results[dataset] = results
+        table.scores[dataset] = comparison_scores(results)
+    return table

@@ -1,0 +1,38 @@
+"""On-device LLM: model wrapper, generation, LoRA fine-tuning, pre-training."""
+
+from repro.llm.finetune import (
+    IGNORE_INDEX,
+    FineTuneConfig,
+    FineTuneReport,
+    LoRAFineTuner,
+    build_training_example,
+    collate_batch,
+)
+from repro.llm.generation import GenerationConfig, generate_tokens, sample_next_token
+from repro.llm.model import OnDeviceLLM, OnDeviceLLMConfig
+from repro.llm.pretrain import (
+    PretrainConfig,
+    PretrainReport,
+    build_pretrained_llm,
+    pretrain,
+    pretraining_texts,
+)
+
+__all__ = [
+    "FineTuneConfig",
+    "FineTuneReport",
+    "GenerationConfig",
+    "IGNORE_INDEX",
+    "LoRAFineTuner",
+    "OnDeviceLLM",
+    "OnDeviceLLMConfig",
+    "PretrainConfig",
+    "PretrainReport",
+    "build_pretrained_llm",
+    "build_training_example",
+    "collate_batch",
+    "generate_tokens",
+    "pretrain",
+    "pretraining_texts",
+    "sample_next_token",
+]

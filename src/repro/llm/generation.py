@@ -1,0 +1,121 @@
+"""Autoregressive text generation for the on-device LLM.
+
+The paper generates evaluation responses with temperature sampling
+(``τ = 0.5``); the same mechanism (plus optional top-k truncation and greedy
+decoding) is implemented here over the numpy transformer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.transformer import TransformerLM
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class GenerationConfig:
+    """Sampling parameters for autoregressive decoding."""
+
+    max_new_tokens: int = 32
+    temperature: float = 0.5
+    top_k: Optional[int] = None
+    greedy: bool = False
+    stop_token_id: Optional[int] = None
+    repetition_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("max_new_tokens", self.max_new_tokens)
+        if self.temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {self.temperature}")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValueError(f"top_k must be positive when given, got {self.top_k}")
+        if self.repetition_penalty < 1.0:
+            raise ValueError(
+                f"repetition_penalty must be >= 1.0, got {self.repetition_penalty}"
+            )
+
+
+def apply_repetition_penalty(
+    logits: np.ndarray, previous_ids: Sequence[int], penalty: float
+) -> np.ndarray:
+    """Down-weight logits of tokens that were already generated.
+
+    The standard CTRL-style rule: positive logits are divided by ``penalty``
+    and negative logits multiplied by it.  ``penalty = 1.0`` is a no-op.
+    Small models are prone to degenerate repetition loops; this keeps the
+    sampled responses usable without changing which content the model knows.
+    """
+    if penalty == 1.0 or not previous_ids:
+        return logits
+    adjusted = logits.copy()
+    for token_id in set(int(t) for t in previous_ids):
+        if adjusted[token_id] > 0:
+            adjusted[token_id] /= penalty
+        else:
+            adjusted[token_id] *= penalty
+    return adjusted
+
+
+def sample_next_token(
+    logits: np.ndarray,
+    config: GenerationConfig,
+    rng: Optional[np.random.Generator] = None,
+    previous_ids: Sequence[int] = (),
+) -> int:
+    """Sample one token id from a vector of next-token logits."""
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    logits = apply_repetition_penalty(logits, previous_ids, config.repetition_penalty)
+    if config.greedy:
+        return int(np.argmax(logits))
+    scaled = logits / config.temperature
+    if config.top_k is not None and config.top_k < scaled.size:
+        cutoff = np.partition(scaled, -config.top_k)[-config.top_k]
+        scaled = np.where(scaled < cutoff, -np.inf, scaled)
+    scaled = scaled - scaled.max()
+    probabilities = np.exp(scaled)
+    probabilities /= probabilities.sum()
+    generator = as_generator(rng)
+    return int(generator.choice(scaled.size, p=probabilities))
+
+
+def generate_tokens(
+    model: TransformerLM,
+    prompt_ids: List[int],
+    config: GenerationConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> List[int]:
+    """Generate up to ``max_new_tokens`` ids following ``prompt_ids``.
+
+    Decoding stops early when ``stop_token_id`` is produced.  The prompt is
+    truncated from the left if it would exceed the model's context window so
+    the most recent tokens are always visible.
+    """
+    if not prompt_ids:
+        raise ValueError("prompt_ids must contain at least one token")
+    generator = as_generator(rng)
+    max_context = model.config.max_seq_len
+    generated: List[int] = []
+    context = list(prompt_ids)
+    was_training = model.training
+    model.eval()
+    try:
+        for _ in range(config.max_new_tokens):
+            window = context[-max_context:]
+            token_array = np.asarray(window, dtype=np.int64)[None, :]
+            logits = model(token_array)
+            next_id = sample_next_token(
+                logits.data[0, -1], config, rng=generator, previous_ids=generated
+            )
+            generated.append(next_id)
+            context.append(next_id)
+            if config.stop_token_id is not None and next_id == config.stop_token_id:
+                break
+    finally:
+        if was_training:
+            model.train()
+    return generated

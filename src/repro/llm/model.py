@@ -1,0 +1,211 @@
+"""The on-device LLM wrapper.
+
+:class:`OnDeviceLLM` bundles the tokenizer and the numpy transformer and
+exposes exactly the three capabilities the paper's framework consumes:
+
+* ``token_embeddings`` / ``embed_text`` — the "last hidden layer" embedding
+  function ``f(·)`` used by the EOE and IDD selection metrics;
+* ``respond`` / ``generate`` — temperature-sampled response generation, used
+  both for the user-facing answers and for data synthesis;
+* LoRA fine-tuning via :mod:`repro.llm.finetune`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.llm.generation import GenerationConfig, generate_tokens
+from repro.nn.lora import LoRAConfig, inject_lora, lora_layers, merge_lora
+from repro.nn.transformer import TransformerConfig, TransformerLM
+from repro.tokenizer.word_tokenizer import WordTokenizer
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class OnDeviceLLMConfig:
+    """Size/behaviour knobs of the on-device model."""
+
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    max_seq_len: int = 96
+    ffn_multiplier: int = 4
+    dropout_rate: float = 0.0
+    max_vocab_size: Optional[int] = 4096
+    seed: int = 0
+
+
+class OnDeviceLLM:
+    """A small causal LM playing the role of the deployed edge-device LLM."""
+
+    def __init__(
+        self,
+        tokenizer: WordTokenizer,
+        config: Optional[OnDeviceLLMConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config or OnDeviceLLMConfig()
+        self.tokenizer = tokenizer
+        rng = as_generator(rng if rng is not None else self.config.seed)
+        transformer_config = TransformerConfig(
+            vocab_size=tokenizer.vocab_size,
+            max_seq_len=self.config.max_seq_len,
+            dim=self.config.dim,
+            num_layers=self.config.num_layers,
+            num_heads=self.config.num_heads,
+            ffn_multiplier=self.config.ffn_multiplier,
+            dropout_rate=self.config.dropout_rate,
+        )
+        self.model = TransformerLM(transformer_config, rng=rng)
+        self._generation_rng = as_generator(self.config.seed + 17)
+        self._lora_config: Optional[LoRAConfig] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Sequence[str],
+        config: Optional[OnDeviceLLMConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "OnDeviceLLM":
+        """Build tokenizer from ``texts`` and instantiate a fresh model."""
+        config = config or OnDeviceLLMConfig()
+        tokenizer = WordTokenizer.from_texts(texts, max_vocab_size=config.max_vocab_size)
+        return cls(tokenizer, config=config, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # embeddings (the paper's f(T))
+    # ------------------------------------------------------------------ #
+    def token_embeddings(self, text: str) -> np.ndarray:
+        """Last-hidden-layer embedding of every token of ``text``.
+
+        Returns an array of shape ``(num_tokens, dim)``; this is the
+        ``E = [e_1, ..., e_q]`` the EOE metric operates on.  Empty text maps
+        to a single zero row so downstream metrics stay well-defined.
+        """
+        ids = self.tokenizer.encode(text, add_bos=True, add_eos=False,
+                                    max_length=self.config.max_seq_len)
+        if not ids:
+            return np.zeros((1, self.config.dim), dtype=np.float32)
+        hidden = self.model.hidden_states(np.asarray(ids, dtype=np.int64)[None, :])
+        return hidden[0]
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """A single embedding vector for ``text`` (mean of token embeddings)."""
+        return self.token_embeddings(text).mean(axis=0)
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embedding vectors for a batch of texts, shape ``(len(texts), dim)``."""
+        if not texts:
+            return np.zeros((0, self.config.dim), dtype=np.float32)
+        return np.stack([self.embed_text(text) for text in texts])
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        prompt: str,
+        generation: Optional[GenerationConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> str:
+        """Generate a free-form continuation of ``prompt``."""
+        generation = generation or GenerationConfig(stop_token_id=self.tokenizer.vocabulary.eos_id)
+        prompt_ids = self.tokenizer.encode(prompt, add_bos=True, add_eos=False,
+                                           max_length=self.config.max_seq_len - 1)
+        new_ids = generate_tokens(
+            self.model,
+            prompt_ids,
+            generation,
+            rng=rng if rng is not None else self._generation_rng,
+        )
+        return self.tokenizer.decode(new_ids)
+
+    def respond(
+        self,
+        question: str,
+        generation: Optional[GenerationConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> str:
+        """Answer a user question (prompt is ``<bos> question <sep>``)."""
+        generation = generation or GenerationConfig(stop_token_id=self.tokenizer.vocabulary.eos_id)
+        question_ids = self.tokenizer.encode(question, add_bos=True, add_eos=False,
+                                             max_length=self.config.max_seq_len // 2)
+        prompt_ids = question_ids + [self.tokenizer.vocabulary.sep_id]
+        new_ids = generate_tokens(
+            self.model,
+            prompt_ids,
+            generation,
+            rng=rng if rng is not None else self._generation_rng,
+        )
+        return self.tokenizer.decode(new_ids)
+
+    # ------------------------------------------------------------------ #
+    # LoRA plumbing
+    # ------------------------------------------------------------------ #
+    def add_lora(self, lora_config: Optional[LoRAConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> int:
+        """Inject LoRA adapters (idempotent); returns the number of adapters."""
+        if lora_layers(self.model):
+            return len(lora_layers(self.model))
+        self._lora_config = lora_config or LoRAConfig()
+        adapters = inject_lora(self.model, self._lora_config,
+                               rng=rng if rng is not None else as_generator(self.config.seed + 29))
+        return len(adapters)
+
+    def merge_lora(self) -> int:
+        """Merge adapters into the base weights; returns the number merged."""
+        return merge_lora(self.model)
+
+    def has_lora(self) -> bool:
+        """Whether LoRA adapters are currently injected."""
+        return bool(lora_layers(self.model))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the model weights, tokenizer vocabulary and config."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "config": self.config,
+            "vocab_tokens": self.tokenizer.vocabulary.tokens(),
+            "state_dict": self.model.state_dict(),
+        }
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "OnDeviceLLM":
+        """Load a model saved with :meth:`save`."""
+        from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+
+        with Path(path).open("rb") as handle:
+            payload = pickle.load(handle)
+        tokens = [t for t in payload["vocab_tokens"] if t not in SpecialTokens.ALL]
+        tokenizer = WordTokenizer(Vocabulary(tokens))
+        llm = cls(tokenizer, config=payload["config"])
+        llm.model.load_state_dict(payload["state_dict"])
+        return llm
+
+    def clone(self) -> "OnDeviceLLM":
+        """A deep copy with identical weights (used to compare selectors fairly).
+
+        If LoRA adapters are injected, the clone receives adapters with the
+        same configuration before the weights are copied so the state dicts
+        line up exactly.
+        """
+        clone = OnDeviceLLM(self.tokenizer, config=self.config)
+        if self.has_lora():
+            clone.add_lora(self._lora_config)
+        clone.model.load_state_dict(self.model.state_dict())
+        return clone

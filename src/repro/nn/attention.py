@@ -1,0 +1,82 @@
+"""Causal multi-head self-attention.
+
+The projection layers are named ``q_proj``, ``k_proj``, ``v_proj`` and
+``o_proj`` to mirror the layer names the paper targets with LoRA ("the
+trainable layers are the QKV layers (q_proj, k_proj, v_proj) and attention
+output layer (o_proj)"), so the LoRA injection utilities can address them by
+the same names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention with a causal mask."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim ({dim}) must be divisible by num_heads ({num_heads})")
+        rng = as_generator(rng)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.o_proj = Linear(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout_rate, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(B, T, D) -> (B, H, T, head_dim)."""
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        """(B, H, T, head_dim) -> (B, T, D)."""
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply causal self-attention.
+
+        ``attention_mask`` is an optional boolean array of shape ``(B, T)``
+        where ``False`` marks padding positions that must not be attended to.
+        """
+        batch, seq, _ = x.shape
+        queries = self._split_heads(self.q_proj(x), batch, seq)
+        keys = self._split_heads(self.k_proj(x), batch, seq)
+        values = self._split_heads(self.v_proj(x), batch, seq)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
+
+        causal = F.attention_scores_mask(seq)  # (T, T), True above diagonal
+        mask = np.broadcast_to(causal, (batch, self.num_heads, seq, seq)).copy()
+        if attention_mask is not None:
+            padding = ~np.asarray(attention_mask, dtype=bool)  # True = padding
+            mask |= padding[:, None, None, :]
+            # A fully masked row (query at a padding position) would make softmax
+            # degenerate; allow self-attention on the diagonal to keep it finite.
+            diag = np.eye(seq, dtype=bool)[None, None, :, :]
+            mask &= ~diag
+
+        scores = scores.masked_fill(mask, -1e9)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights.matmul(values)
+        merged = self._merge_heads(context, batch, seq)
+        return self.o_proj(merged)

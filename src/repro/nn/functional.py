@@ -1,0 +1,153 @@
+"""Functional building blocks on top of :class:`repro.nn.tensor.Tensor`.
+
+These functions implement the numerically-sensitive operations (softmax,
+log-softmax, layer normalization, cross-entropy, dropout) with hand-written
+backward passes rather than composing primitive ops, so that forward values
+stay stable (log-sum-exp trick) and the backward pass stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d softmax = s * (grad - sum(grad * s))
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad_sum = grad.sum(axis=axis, keepdims=True)
+            x._accumulate(grad - softmax_data * grad_sum)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def layer_norm(
+    x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Layer normalization over the last dimension with affine parameters."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = (x.data - mean) * inv_std
+    out_data = normalized * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        dim = x.data.shape[-1]
+        if weight.requires_grad:
+            weight._accumulate((grad * normalized).reshape(-1, dim).sum(axis=0))
+        if bias.requires_grad:
+            bias._accumulate(grad.reshape(-1, dim).sum(axis=0))
+        if x.requires_grad:
+            grad_norm = grad * weight.data
+            grad_mean = grad_norm.mean(axis=-1, keepdims=True)
+            grad_dot = (grad_norm * normalized).mean(axis=-1, keepdims=True)
+            x._accumulate(inv_std * (grad_norm - grad_mean - normalized * grad_dot))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Mean token-level cross-entropy between ``logits`` and integer targets.
+
+    ``logits`` has shape ``(..., vocab)`` and ``targets`` the matching leading
+    shape.  Positions equal to ``ignore_index`` contribute neither to the loss
+    nor to the gradient (used to mask padding tokens).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != logits.data.shape[:-1]:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits {logits.data.shape[:-1]}"
+        )
+    vocab = logits.data.shape[-1]
+    flat_logits = logits.data.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    valid_count = int(valid.sum())
+    if valid_count == 0:
+        raise ValueError("cross_entropy received no valid target positions")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.size), safe_targets]
+    loss_value = -(picked * valid).sum() / valid_count
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        probs = np.exp(log_probs)
+        grad_flat = probs
+        grad_flat[np.arange(flat_targets.size), safe_targets] -= 1.0
+        grad_flat *= valid[:, None]
+        grad_flat *= float(grad) / valid_count
+        logits._accumulate(grad_flat.reshape(logits.data.shape))
+
+    return Tensor._make(np.asarray(loss_value, dtype=logits.data.dtype), (logits,), backward)
+
+
+def dropout(
+    x: Tensor,
+    rate: float,
+    rng: Optional[np.random.Generator] = None,
+    training: bool = True,
+) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` of entries and rescale."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must lie in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    rng = rng if rng is not None else np.random.default_rng(0)
+    keep_prob = 1.0 - rate
+    mask = (rng.random(x.data.shape) < keep_prob).astype(x.data.dtype) / keep_prob
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def attention_scores_mask(seq_len: int) -> np.ndarray:
+    """Boolean causal mask (True above the diagonal = positions to hide)."""
+    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.data.dtype))
+    return (diff * diff).mean()

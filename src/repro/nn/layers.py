@@ -1,0 +1,247 @@
+"""Neural-network modules built on the autograd :class:`Tensor`.
+
+The :class:`Module` base class provides recursive parameter discovery,
+train/eval mode switching, and state-dict export/import; the concrete layers
+are the minimum set needed by a decoder-only transformer: ``Linear``,
+``Embedding``, ``LayerNorm``, ``Dropout`` and ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter / submodule discovery -------------------------------- #
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        """Yield ``(qualified_name, tensor)`` for every parameter, recursively."""
+        for name, value in vars(self).items():
+            qualified = f"{prefix}{name}" if not prefix else f"{prefix}.{name}"
+            if isinstance(value, Tensor):
+                yield qualified, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=qualified)
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{qualified}.{index}")
+                    elif isinstance(item, Tensor):
+                        yield f"{qualified}.{index}", item
+
+    def parameters(self) -> List[Tensor]:
+        """All parameter tensors, recursively."""
+        return [tensor for _, tensor in self.named_parameters()]
+
+    def trainable_parameters(self) -> List[Tensor]:
+        """Only parameters with ``requires_grad=True``."""
+        return [tensor for tensor in self.parameters() if tensor.requires_grad]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every submodule, depth-first."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for tensor in self.parameters():
+            tensor.grad = None
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        tensors = self.trainable_parameters() if trainable_only else self.parameters()
+        return int(sum(tensor.size for tensor in tensors))
+
+    # -- training / evaluation mode -------------------------------------- #
+    def train(self) -> "Module":
+        """Switch this module (and submodules) to training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module (and submodules) to evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- state dict -------------------------------------------------------- #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by its qualified name."""
+        return {name: tensor.data.copy() for name, tensor in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, tensor in own.items():
+            array = np.asarray(state[name], dtype=tensor.data.dtype)
+            if array.shape != tensor.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {tensor.data.shape}, got {array.shape}"
+                )
+            tensor.data = array.copy()
+
+    # -- call protocol ----------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(out_features, in_features)).astype(np.float32),
+            requires_grad=True,
+            name="weight",
+        )
+        if bias:
+            self.bias: Optional[Tensor] = Tensor(
+                np.zeros(out_features, dtype=np.float32), requires_grad=True, name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.transpose(1, 0))
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Lookup table mapping integer token ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Tensor(
+            (rng.standard_normal((num_embeddings, embedding_dim)) * 0.02).astype(np.float32),
+            requires_grad=True,
+            name="embedding",
+        )
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.num_embeddings):
+            raise IndexError(
+                f"token id out of range [0, {self.num_embeddings}): "
+                f"min={token_ids.min()}, max={token_ids.max()}"
+            )
+        return self.weight.take_rows(token_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True, name="ln_weight")
+        self.bias = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True, name="ln_bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; inert in eval mode."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, rng=self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block: Linear → GELU → Linear (+dropout)."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        dropout_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.up = Linear(dim, hidden_dim, rng=rng)
+        self.down = Linear(hidden_dim, dim, rng=rng)
+        self.dropout = Dropout(dropout_rate, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.down(self.up(x).gelu()))

@@ -1,0 +1,228 @@
+"""Low-Rank Adaptation (LoRA) for the transformer attention projections.
+
+Implements the fine-tuning setup the paper uses: frozen base weights plus
+trainable low-rank deltas on ``q_proj``, ``k_proj``, ``v_proj`` and ``o_proj``
+with rank ``r``, scaling factor ``alpha`` and LoRA dropout.  The adapted
+forward pass is
+
+    ``y = x W_base^T + b + (alpha / r) * dropout(x) A^T B^T``
+
+where ``A`` (``r x in``) is Gaussian-initialised and ``B`` (``out x r``) is
+zero-initialised so the adapter starts as an exact no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+DEFAULT_TARGET_LAYERS: Tuple[str, ...] = ("q_proj", "k_proj", "v_proj", "o_proj")
+
+
+@dataclass
+class LoRAConfig:
+    """LoRA hyper-parameters (defaults follow the paper's setup)."""
+
+    rank: int = 8
+    alpha: float = 16.0
+    dropout_rate: float = 0.05
+    target_layers: Tuple[str, ...] = DEFAULT_TARGET_LAYERS
+
+    def __post_init__(self) -> None:
+        require_positive("rank", self.rank)
+        require_positive("alpha", self.alpha)
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(f"dropout_rate must lie in [0, 1), got {self.dropout_rate}")
+        if not self.target_layers:
+            raise ValueError("target_layers must not be empty")
+
+    @property
+    def scaling(self) -> float:
+        """The effective adapter scaling ``alpha / rank``."""
+        return self.alpha / self.rank
+
+
+class LoRALinear(Module):
+    """A frozen :class:`Linear` augmented with a trainable low-rank delta."""
+
+    def __init__(
+        self,
+        base: Linear,
+        config: LoRAConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.base = base
+        self.config = config
+        # Freeze the base projection: only the adapter trains.
+        self.base.weight.requires_grad = False
+        if self.base.bias is not None:
+            self.base.bias.requires_grad = False
+        in_features = base.in_features
+        out_features = base.out_features
+        self.lora_a = Tensor(
+            (rng.standard_normal((config.rank, in_features)) * 0.01).astype(np.float32),
+            requires_grad=True,
+            name="lora_a",
+        )
+        self.lora_b = Tensor(
+            np.zeros((out_features, config.rank), dtype=np.float32),
+            requires_grad=True,
+            name="lora_b",
+        )
+        self.lora_dropout = Dropout(config.dropout_rate, rng=rng)
+
+    @property
+    def in_features(self) -> int:
+        return self.base.in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.base.out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        base_out = self.base(x)
+        adapted = self.lora_dropout(x).matmul(self.lora_a.transpose(1, 0))
+        adapted = adapted.matmul(self.lora_b.transpose(1, 0))
+        return base_out + adapted * self.config.scaling
+
+    def delta_weight(self) -> np.ndarray:
+        """The dense weight delta ``(alpha/r) * B A`` contributed by the adapter."""
+        return self.config.scaling * (self.lora_b.data @ self.lora_a.data)
+
+    def merge(self) -> Linear:
+        """Fold the adapter into the base layer and return the merged Linear."""
+        self.base.weight.data = self.base.weight.data + self.delta_weight().astype(
+            self.base.weight.data.dtype
+        )
+        return self.base
+
+    def reset_adapter(self) -> None:
+        """Zero the adapter so it is a no-op again (B back to zero)."""
+        self.lora_b.data = np.zeros_like(self.lora_b.data)
+        self.lora_a.grad = None
+        self.lora_b.grad = None
+
+
+def inject_lora(
+    model: Module,
+    config: Optional[LoRAConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[LoRALinear]:
+    """Replace targeted attention projections in ``model`` with LoRA layers.
+
+    Walks every :class:`MultiHeadSelfAttention` submodule and wraps the
+    projections named in ``config.target_layers``.  All other model
+    parameters are frozen, reproducing the paper's parameter-efficient
+    fine-tuning regime.  Returns the list of injected adapters.
+    """
+    config = config or LoRAConfig()
+    rng = as_generator(rng)
+    adapters: List[LoRALinear] = []
+    attention_modules = [
+        module for module in model.modules() if isinstance(module, MultiHeadSelfAttention)
+    ]
+    if not attention_modules:
+        raise ValueError("model contains no MultiHeadSelfAttention modules to adapt")
+    for attention in attention_modules:
+        for layer_name in config.target_layers:
+            projection = getattr(attention, layer_name, None)
+            if projection is None:
+                raise AttributeError(
+                    f"attention module has no projection named {layer_name!r}"
+                )
+            if isinstance(projection, LoRALinear):
+                continue
+            adapter = LoRALinear(projection, config, rng=rng)
+            setattr(attention, layer_name, adapter)
+            adapters.append(adapter)
+    freeze_non_lora_parameters(model)
+    return adapters
+
+
+def freeze_non_lora_parameters(model: Module) -> int:
+    """Freeze every parameter that is not a LoRA adapter weight.
+
+    Returns the number of tensors frozen.
+    """
+    lora_tensors = {id(t) for t in lora_parameters(model)}
+    frozen = 0
+    for _, tensor in model.named_parameters():
+        if id(tensor) not in lora_tensors and tensor.requires_grad:
+            tensor.requires_grad = False
+            tensor.grad = None
+            frozen += 1
+    return frozen
+
+
+def lora_layers(model: Module) -> List[LoRALinear]:
+    """All :class:`LoRALinear` layers inside ``model``."""
+    return [module for module in model.modules() if isinstance(module, LoRALinear)]
+
+
+def lora_parameters(model: Module) -> List[Tensor]:
+    """The trainable LoRA parameter tensors (A and B matrices)."""
+    parameters: List[Tensor] = []
+    for layer in lora_layers(model):
+        parameters.extend([layer.lora_a, layer.lora_b])
+    return parameters
+
+
+def lora_state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """Adapter-only state dict (the artefact an edge device would persist)."""
+    state: Dict[str, np.ndarray] = {}
+    for index, layer in enumerate(lora_layers(model)):
+        state[f"adapter.{index}.lora_a"] = layer.lora_a.data.copy()
+        state[f"adapter.{index}.lora_b"] = layer.lora_b.data.copy()
+    return state
+
+
+def load_lora_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
+    """Load an adapter-only state dict produced by :func:`lora_state_dict`."""
+    layers = lora_layers(model)
+    expected_keys = {
+        key for index in range(len(layers)) for key in (f"adapter.{index}.lora_a", f"adapter.{index}.lora_b")
+    }
+    if set(state) != expected_keys:
+        raise ValueError(
+            f"LoRA state dict keys {sorted(state)} do not match expected {sorted(expected_keys)}"
+        )
+    for index, layer in enumerate(layers):
+        layer.lora_a.data = np.asarray(state[f"adapter.{index}.lora_a"], dtype=np.float32).copy()
+        layer.lora_b.data = np.asarray(state[f"adapter.{index}.lora_b"], dtype=np.float32).copy()
+
+
+def merge_lora(model: Module) -> int:
+    """Merge every adapter into its base layer; returns the number merged.
+
+    After merging, the attention modules hold plain :class:`Linear` layers
+    again (with updated weights) and no LoRA parameters remain.
+    """
+    merged = 0
+    for attention in model.modules():
+        if not isinstance(attention, MultiHeadSelfAttention):
+            continue
+        for layer_name in DEFAULT_TARGET_LAYERS:
+            projection = getattr(attention, layer_name, None)
+            if isinstance(projection, LoRALinear):
+                setattr(attention, layer_name, projection.merge())
+                merged += 1
+    return merged
+
+
+def count_trainable_fraction(model: Module) -> float:
+    """Fraction of scalar parameters that are trainable (LoRA efficiency check)."""
+    total = model.num_parameters()
+    trainable = model.num_parameters(trainable_only=True)
+    if total == 0:
+        return 0.0
+    return trainable / total

@@ -1,0 +1,229 @@
+"""Optimizers and learning-rate schedules.
+
+AdamW is the optimizer the paper fine-tunes with; SGD and Adam are provided
+for the pre-training utility and ablations.  The ``sqrt_batch_scaled_lr``
+helper reproduces the learning-rate ∝ √batch-size scaling rule the paper
+applies in the buffer-size experiment (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.config import require_non_negative, require_positive
+
+
+class Optimizer:
+    """Base class holding parameters and the current learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        require_positive("lr", lr)
+        self.parameters: List[Tensor] = [p for p in parameters]
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of optimization steps taken so far."""
+        return self._step_count
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def set_lr(self, lr: float) -> None:
+        """Update the learning rate (used by schedulers)."""
+        require_positive("lr", lr)
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        require_non_negative("momentum", momentum)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                update = velocity
+            else:
+                update = parameter.grad
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (no weight decay)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (the paper's fine-tuning optimizer)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr)
+        require_non_negative("weight_decay", weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            # Decoupled weight decay applied directly to the parameter.
+            parameter.data = parameter.data - self.lr * (
+                m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * parameter.data
+            )
+
+
+def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    require_positive("max_norm", max_norm)
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad.astype(np.float64) ** 2))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm
+
+
+class LRScheduler:
+    """Base learning-rate schedule driving an :class:`Optimizer`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self._epoch += 1
+        lr = self.lr_at(self._epoch)
+        self.optimizer.set_lr(lr)
+        return lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the base learning rate unchanged (the paper's default)."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class CosineDecayLR(LRScheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 1e-6) -> None:
+        super().__init__(optimizer)
+        require_positive("total_epochs", total_epochs)
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearWarmupLR(LRScheduler):
+    """Linear warm-up to the base LR over ``warmup_epochs``, then constant."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
+        super().__init__(optimizer)
+        require_positive("warmup_epochs", warmup_epochs)
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch / self.warmup_epochs)
+
+
+def sqrt_batch_scaled_lr(
+    base_lr: float, base_batch_size: int, batch_size: int
+) -> float:
+    """Scale the learning rate with the square root of the batch size.
+
+    Reproduces the rule the paper applies when sweeping buffer sizes in
+    Table 3 ("learning rate ∝ √batch size"): the learning rate used for a
+    buffer of ``batch_size`` items is ``base_lr * sqrt(batch/base_batch)``.
+    """
+    require_positive("base_lr", base_lr)
+    require_positive("base_batch_size", base_batch_size)
+    require_positive("batch_size", batch_size)
+    return base_lr * math.sqrt(batch_size / base_batch_size)

@@ -1,0 +1,158 @@
+"""Decoder-only transformer language model.
+
+This is the on-device LLM stand-in for Llama-3B: the architecture family is
+the same (token + positional embeddings, pre-LayerNorm decoder blocks with
+causal multi-head self-attention and a GELU feed-forward, a final LayerNorm
+and an output projection), only the size is scaled down so it trains and
+fine-tunes in seconds on CPU.  The framework under test uses it through three
+interfaces — next-token logits, last-hidden-layer embeddings, and LoRA
+fine-tuning — each of which is exercised exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.utils.config import require_positive
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class TransformerConfig:
+    """Hyper-parameters of the decoder-only transformer."""
+
+    vocab_size: int = 512
+    max_seq_len: int = 64
+    dim: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    ffn_multiplier: int = 4
+    dropout_rate: float = 0.0
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive("vocab_size", self.vocab_size)
+        require_positive("max_seq_len", self.max_seq_len)
+        require_positive("dim", self.dim)
+        require_positive("num_layers", self.num_layers)
+        require_positive("num_heads", self.num_heads)
+        require_positive("ffn_multiplier", self.ffn_multiplier)
+        if self.dim % self.num_heads != 0:
+            raise ValueError(
+                f"dim ({self.dim}) must be divisible by num_heads ({self.num_heads})"
+            )
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(f"dropout_rate must lie in [0, 1), got {self.dropout_rate}")
+
+
+class TransformerBlock(Module):
+    """Pre-LayerNorm decoder block: LN → attention → residual, LN → FFN → residual."""
+
+    def __init__(self, config: TransformerConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.ln_attn = LayerNorm(config.dim)
+        self.attention = MultiHeadSelfAttention(
+            config.dim, config.num_heads, dropout_rate=config.dropout_rate, rng=rng
+        )
+        self.ln_ffn = LayerNorm(config.dim)
+        self.ffn = FeedForward(
+            config.dim,
+            config.dim * config.ffn_multiplier,
+            dropout_rate=config.dropout_rate,
+            rng=rng,
+        )
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attention(self.ln_attn(x), attention_mask=attention_mask)
+        x = x + self.ffn(self.ln_ffn(x))
+        return x
+
+
+class TransformerLM(Module):
+    """Decoder-only causal language model returning logits and hidden states."""
+
+    def __init__(self, config: TransformerConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = as_generator(rng)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.dim, rng=rng)
+        self.embedding_dropout = Dropout(config.dropout_rate, rng=rng)
+        self.blocks = [TransformerBlock(config, rng=rng) for _ in range(config.num_layers)]
+        self.ln_final = LayerNorm(config.dim)
+        if config.tie_embeddings:
+            self.lm_head: Optional[Linear] = None
+        else:
+            self.lm_head = Linear(config.dim, config.vocab_size, bias=False, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        return_hidden: bool = False,
+    ):
+        """Compute next-token logits for a batch of token-id sequences.
+
+        Parameters
+        ----------
+        token_ids:
+            Integer array of shape ``(batch, seq)``.
+        attention_mask:
+            Optional boolean array of shape ``(batch, seq)``; ``False`` marks
+            padding positions.
+        return_hidden:
+            When True, also return the final-LayerNorm hidden states
+            ``(batch, seq, dim)`` — the "last hidden layer" the paper uses as
+            the text-embedding function.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 2:
+            raise ValueError(f"token_ids must be 2-D (batch, seq), got shape {token_ids.shape}")
+        batch, seq = token_ids.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq))
+        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        hidden = self.embedding_dropout(hidden)
+        for block in self.blocks:
+            hidden = block(hidden, attention_mask=attention_mask)
+        hidden = self.ln_final(hidden)
+
+        if self.lm_head is not None:
+            logits = self.lm_head(hidden)
+        else:
+            logits = hidden.matmul(self.token_embedding.weight.transpose(1, 0))
+
+        if return_hidden:
+            return logits, hidden
+        return logits
+
+    # ------------------------------------------------------------------ #
+    def hidden_states(
+        self, token_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Last-hidden-layer states as a plain array (no graph kept)."""
+        was_training = self.training
+        self.eval()
+        _, hidden = self.forward(token_ids, attention_mask=attention_mask, return_hidden=True)
+        if was_training:
+            self.train()
+        return hidden.data
+
+    def attention_blocks(self) -> List[TransformerBlock]:
+        """The list of decoder blocks (used by the LoRA injection helpers)."""
+        return list(self.blocks)
+
+    def parameter_count(self) -> Tuple[int, int]:
+        """``(total, trainable)`` scalar parameter counts."""
+        return self.num_parameters(), self.num_parameters(trainable_only=True)

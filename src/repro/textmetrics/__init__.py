@@ -1,0 +1,47 @@
+"""Text metrics: ROUGE, similarity, entropy and diversity measures."""
+
+from repro.textmetrics.entropy import (
+    distinct_n,
+    embedding_to_distribution,
+    entropy_of_embedding,
+    shannon_entropy,
+    token_frequency_entropy,
+)
+from repro.textmetrics.rouge import (
+    RougeScore,
+    corpus_rouge_1,
+    rouge_1,
+    rouge_1_f1,
+    rouge_2,
+    rouge_l,
+    rouge_n,
+)
+from repro.textmetrics.similarity import (
+    cosine_dissimilarity,
+    cosine_similarity,
+    jaccard_similarity,
+    mean_embedding,
+    pairwise_cosine_similarity,
+    token_overlap_count,
+)
+
+__all__ = [
+    "RougeScore",
+    "corpus_rouge_1",
+    "cosine_dissimilarity",
+    "cosine_similarity",
+    "distinct_n",
+    "embedding_to_distribution",
+    "entropy_of_embedding",
+    "jaccard_similarity",
+    "mean_embedding",
+    "pairwise_cosine_similarity",
+    "rouge_1",
+    "rouge_1_f1",
+    "rouge_2",
+    "rouge_l",
+    "rouge_n",
+    "shannon_entropy",
+    "token_frequency_entropy",
+    "token_overlap_count",
+]

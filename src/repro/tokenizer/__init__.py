@@ -1,0 +1,6 @@
+"""Word-level tokenizer and vocabulary used by the on-device LLM."""
+
+from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+from repro.tokenizer.word_tokenizer import WordTokenizer, split_words
+
+__all__ = ["SpecialTokens", "Vocabulary", "WordTokenizer", "split_words"]

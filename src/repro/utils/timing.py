@@ -1,0 +1,106 @@
+"""Wall-clock timing helpers used by the benchmark harness and Figure 3.
+
+The paper reports training time per epoch as a function of the number of
+synthesized dialogue sets; this module provides the timer primitives that the
+experiment runners use to measure that on CPU.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class TimerRecord:
+    """Aggregated timing statistics for one named section."""
+
+    name: str
+    total_seconds: float = 0.0
+    calls: int = 0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean duration per call (0.0 if never called)."""
+        if self.calls == 0:
+            return 0.0
+        return self.total_seconds / self.calls
+
+    @property
+    def max_seconds(self) -> float:
+        """Longest single call (0.0 if never called)."""
+        return max(self.durations) if self.durations else 0.0
+
+
+class Stopwatch:
+    """A restartable stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Reset elapsed time to zero and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the currently running span if any."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._elapsed + running
+
+
+class SectionTimer:
+    """Collects named timing sections, e.g. ``selection``, ``finetune``."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, TimerRecord] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager measuring one run of a named section."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            record = self._records.setdefault(name, TimerRecord(name=name))
+            record.total_seconds += duration
+            record.calls += 1
+            record.durations.append(duration)
+
+    def record(self, name: str) -> TimerRecord:
+        """The record for ``name`` (created empty if missing)."""
+        return self._records.setdefault(name, TimerRecord(name=name))
+
+    def records(self) -> Dict[str, TimerRecord]:
+        """Mapping of all section names to their records."""
+        return dict(self._records)
+
+    def total(self, name: str) -> float:
+        """Total seconds spent in section ``name`` (0.0 if never entered)."""
+        record = self._records.get(name)
+        return record.total_seconds if record else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """A flat ``{name: total_seconds}`` summary."""
+        return {name: record.total_seconds for name, record in self._records.items()}

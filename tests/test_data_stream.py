@@ -1,0 +1,90 @@
+"""Tests for the temporally-correlated stream simulator."""
+
+import pytest
+
+from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.data.stream import (
+    DialogueStream,
+    StreamConfig,
+    reorder_with_correlation,
+    temporal_correlation_index,
+)
+
+
+def _corpus(num_per_domain=10, domains=("a", "b", "c")):
+    dialogues = []
+    for domain in domains:
+        for index in range(num_per_domain):
+            dialogues.append(
+                DialogueSet(question=f"{domain} question {index}", response="r", domain=domain)
+            )
+    return DialogueCorpus(dialogues, name="toy")
+
+
+class TestTemporalCorrelationIndex:
+    def test_blocked_order_is_high(self):
+        assert temporal_correlation_index(_corpus().dialogues()) > 0.8
+
+    def test_alternating_order_is_low(self):
+        dialogues = []
+        for index in range(12):
+            dialogues.append(DialogueSet(question=str(index), response="r", domain="ab"[index % 2]))
+        assert temporal_correlation_index(dialogues) == 0.0
+
+    def test_short_or_unlabelled_streams(self):
+        assert temporal_correlation_index([]) == 0.0
+        assert temporal_correlation_index([DialogueSet(question="q", response="r")]) == 0.0
+
+
+class TestReorderWithCorrelation:
+    def test_zero_correlation_shuffles(self):
+        corpus = _corpus()
+        ordered = reorder_with_correlation(corpus, 0.0, rng=0)
+        assert len(ordered) == len(corpus)
+        assert temporal_correlation_index(ordered) < 0.6
+
+    def test_full_correlation_blocks(self):
+        corpus = _corpus()
+        ordered = reorder_with_correlation(corpus, 1.0, rng=0)
+        assert temporal_correlation_index(ordered) > 0.85
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            reorder_with_correlation(_corpus(), 1.5)
+
+    def test_preserves_multiset(self):
+        corpus = _corpus()
+        ordered = reorder_with_correlation(corpus, 0.5, rng=3)
+        assert sorted(d.question for d in ordered) == sorted(d.question for d in corpus)
+
+
+class TestDialogueStream:
+    def test_chunks_cover_everything(self):
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=7))
+        chunks = list(stream.chunks())
+        assert sum(len(chunk) for chunk in chunks) == len(stream)
+        assert all(len(chunk) == 7 for chunk in chunks[:-1])
+        assert stream.num_finetune_rounds() == len(chunks)
+
+    def test_preserve_order_default(self):
+        corpus = _corpus()
+        stream = DialogueStream(corpus)
+        assert [d.question for d in stream] == [d.question for d in corpus]
+
+    def test_target_correlation_reorders(self):
+        corpus = _corpus()
+        stream = DialogueStream(
+            corpus, StreamConfig(finetune_interval=5, target_correlation=0.0, seed=1)
+        )
+        assert stream.correlation_index() < 0.6
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            StreamConfig(finetune_interval=0)
+        with pytest.raises(ValueError):
+            StreamConfig(target_correlation=2.0)
+
+    def test_len_and_dialogues(self):
+        stream = DialogueStream(_corpus())
+        assert len(stream) == 30
+        assert len(stream.dialogues()) == 30

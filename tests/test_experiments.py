@@ -1,0 +1,132 @@
+"""Tests for the experiment presets, environment preparation and runners.
+
+Full table/figure sweeps live in ``benchmarks/``; here only the machinery is
+exercised at the smallest possible scale so the whole file stays fast.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    ABLATION_METHODS,
+    DEFAULT_METHODS,
+    ExperimentScale,
+    comparison_scores,
+    format_table,
+    framework_config_for,
+    get_scale,
+    mean_final_rouge,
+    paper_scale,
+    prepare_environment,
+    run_method,
+    run_method_comparison,
+    small_scale,
+    smoke_scale,
+)
+from repro.experiments.presets import ExperimentScale as PresetScale
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """An even smaller scale than ``smoke`` so experiment tests stay quick."""
+    scale = smoke_scale()
+    return dataclasses.replace(
+        scale,
+        corpus_size=48,
+        stream_fraction=0.3,
+        buffer_bins=4,
+        finetune_interval=10,
+        finetune_epochs=2,
+        pretrain_epochs=4,
+        eval_subset=8,
+        synthesis_per_item=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def med_env(micro_scale):
+    return prepare_environment("meddialog", scale=micro_scale, seed=0)
+
+
+class TestPresets:
+    def test_three_presets_exist(self):
+        assert smoke_scale().name == "smoke"
+        assert small_scale().name == "small"
+        assert paper_scale().name == "paper"
+
+    def test_paper_scale_matches_paper_parameters(self):
+        scale = paper_scale()
+        assert scale.buffer_bins == 128
+        assert scale.finetune_interval == 800
+        assert scale.finetune_epochs == 100
+        assert scale.finetune_batch_size == 128
+        assert scale.learning_rate == pytest.approx(3e-4)
+        assert scale.synthesis_per_item == 3
+        assert scale.buffer_bins_sweep == (8, 16, 32, 64, 128, 256, 512)
+
+    def test_get_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+        monkeypatch.delenv("REPRO_SCALE")
+        assert get_scale("paper").name == "paper"
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            PresetScale(
+                name="bad", corpus_size=0, stream_fraction=0.1, buffer_bins=1,
+                finetune_interval=1, finetune_epochs=1, finetune_batch_size=1,
+                learning_rate=1e-3, synthesis_per_item=1, eval_subset=None,
+                eval_max_new_tokens=4, eval_greedy=True, pretrain_epochs=1,
+            )
+
+
+class TestEnvironment:
+    def test_prepare_environment_splits_and_noise(self, med_env, micro_scale):
+        substantive = round(micro_scale.corpus_size * micro_scale.stream_fraction)
+        assert len(med_env.eval_corpus) == micro_scale.corpus_size - substantive
+        assert len(med_env.stream_corpus) >= substantive
+        stream = med_env.make_stream()
+        assert len(stream) == len(med_env.stream_corpus)
+        assert med_env.base_llm.tokenizer.vocab_size > 10
+
+    def test_framework_config_overrides(self, micro_scale):
+        config = framework_config_for(micro_scale, "ours", buffer_bins=2,
+                                      learning_rate=1e-3, synthesis_per_item=0)
+        assert config.buffer_bins == 2
+        assert config.finetune.learning_rate == pytest.approx(1e-3)
+        assert config.synthesis.num_per_item == 0
+        assert config.selector == "ours"
+
+    def test_method_constants(self):
+        assert "ours" in DEFAULT_METHODS and "ours" in ABLATION_METHODS
+
+
+class TestRunners:
+    def test_run_method_produces_result(self, med_env):
+        result = run_method(med_env, "fifo")
+        assert result.selector_name == "fifo"
+        assert result.total_seen == len(med_env.stream_corpus)
+        assert 0.0 <= result.final_rouge <= 1.0
+
+    def test_run_method_comparison_and_scores(self, med_env):
+        comparison = run_method_comparison(med_env, methods=("fifo", "random"), num_seeds=2)
+        scores = comparison_scores(comparison)
+        assert set(scores) == {"fifo", "random"}
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+        assert comparison["fifo"].timings["mean_final_rouge"] is not None
+        assert len(comparison["fifo"].timings["seed_rouges"]) == 2
+
+    def test_mean_final_rouge_empty(self):
+        assert mean_final_rouge([]) == 0.0
+
+
+class TestFormatting:
+    def test_format_table_renders_all_cells(self):
+        text = format_table(
+            ["row1", "row2"], ["a", "b"],
+            {"row1": {"a": 0.1, "b": 0.2}, "row2": {"a": 0.3}},
+        )
+        assert "row1" in text and "0.3000" in text and "-" in text

@@ -1,0 +1,122 @@
+"""Tests for repro.nn.functional (softmax, layer norm, cross-entropy, dropout)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)).astype(np.float32))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-5)
+
+    def test_numerical_stability_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+        out = F.softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_gradient_sums_to_zero(self, rng):
+        x = Tensor(rng.standard_normal((2, 5)).astype(np.float32), requires_grad=True)
+        out = F.softmax(x)
+        (out * Tensor(rng.standard_normal((2, 5)).astype(np.float32))).sum().backward()
+        # Softmax Jacobian rows sum to zero -> grads per row sum to ~0.
+        np.testing.assert_allclose(x.grad.sum(axis=-1), np.zeros(2), atol=1e-5)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 6)).astype(np.float32))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data + 1e-12), atol=1e-4
+        )
+
+
+class TestLayerNorm:
+    def test_output_normalized(self, rng):
+        dim = 8
+        x = Tensor(rng.standard_normal((5, dim)).astype(np.float32))
+        weight = Tensor(np.ones(dim, dtype=np.float32))
+        bias = Tensor(np.zeros(dim, dtype=np.float32))
+        out = F.layer_norm(x, weight, bias)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(5), atol=1e-2)
+
+    def test_affine_parameters_receive_grads(self, rng):
+        dim = 4
+        x = Tensor(rng.standard_normal((3, dim)).astype(np.float32), requires_grad=True)
+        weight = Tensor(np.ones(dim, dtype=np.float32), requires_grad=True)
+        bias = Tensor(np.zeros(dim, dtype=np.float32), requires_grad=True)
+        F.layer_norm(x, weight, bias).sum().backward()
+        assert weight.grad is not None and bias.grad is not None and x.grad is not None
+        np.testing.assert_allclose(bias.grad, 3 * np.ones(dim))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[[10.0, -10.0], [-10.0, 10.0]]]), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([[0, 1]]))
+        assert loss.item() < 1e-3
+
+    def test_uniform_prediction_log_vocab(self):
+        vocab = 8
+        logits = Tensor(np.zeros((1, 3, vocab)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.zeros((1, 3), dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(vocab), abs=1e-4)
+
+    def test_ignore_index_masks_positions(self):
+        logits = Tensor(np.zeros((1, 4, 5)), requires_grad=True)
+        targets = np.array([[1, -100, 2, -100]])
+        loss = F.cross_entropy(logits, targets, ignore_index=-100)
+        loss.backward()
+        grads = logits.grad[0]
+        assert np.abs(grads[1]).sum() == 0.0
+        assert np.abs(grads[3]).sum() == 0.0
+        assert np.abs(grads[0]).sum() > 0.0
+
+    def test_all_ignored_raises(self):
+        logits = Tensor(np.zeros((1, 2, 3)), requires_grad=True)
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.full((1, 2), -100), ignore_index=-100)
+
+    def test_shape_mismatch_raises(self):
+        logits = Tensor(np.zeros((2, 3, 4)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.zeros((2, 2), dtype=np.int64))
+
+    def test_gradient_is_probability_minus_onehot(self):
+        logits = Tensor(np.zeros((1, 1, 4)), requires_grad=True)
+        F.cross_entropy(logits, np.array([[2]])).backward()
+        expected = np.full(4, 0.25)
+        expected[2] -= 1.0
+        np.testing.assert_allclose(logits.grad[0, 0], expected, atol=1e-5)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)).astype(np.float32))
+        out = F.dropout(x, rate=0.5, rng=rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_zeroes_and_rescales(self, rng):
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = F.dropout(x, rate=0.4, rng=rng, training=True)
+        zero_fraction = float((out.data == 0).mean())
+        assert 0.3 < zero_fraction < 0.5
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), rate=1.0)
+
+
+class TestMasks:
+    def test_causal_mask_upper_triangle(self):
+        mask = F.attention_scores_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask[2, 1] and mask[1, 2]
+
+    def test_mse_loss(self):
+        pred = Tensor([1.0, 2.0], requires_grad=True)
+        loss = F.mse_loss(pred, np.array([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)

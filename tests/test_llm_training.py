@@ -1,0 +1,148 @@
+"""Tests for LoRA fine-tuning and base-model pre-training."""
+
+import numpy as np
+import pytest
+
+from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.llm.finetune import (
+    IGNORE_INDEX,
+    FineTuneConfig,
+    LoRAFineTuner,
+    build_training_example,
+    collate_batch,
+)
+from repro.llm.pretrain import (
+    PretrainConfig,
+    build_pretrained_llm,
+    pretrain,
+    pretraining_pairs,
+    pretraining_texts,
+)
+from repro.nn.lora import LoRAConfig, lora_parameters
+from tests.conftest import TINY_LLM_CONFIG
+
+
+class TestTrainingExamples:
+    def test_question_tokens_masked(self, pretrained_llm):
+        dialogue = DialogueSet(question="what about the dose", response="take two pills daily")
+        ids, labels = build_training_example(pretrained_llm, dialogue)
+        sep_position = ids.index(pretrained_llm.tokenizer.vocabulary.sep_id)
+        assert all(label == IGNORE_INDEX for label in labels[:sep_position])
+        assert any(label != IGNORE_INDEX for label in labels[sep_position:])
+        assert labels[-1] == IGNORE_INDEX
+
+    def test_uses_gold_response_when_present(self, pretrained_llm):
+        dialogue = DialogueSet(question="q about dose", response="bad", gold_response="pills daily friend")
+        ids, _ = build_training_example(pretrained_llm, dialogue)
+        decoded = pretrained_llm.tokenizer.decode(ids)
+        assert "pills" in decoded and "bad" not in decoded
+
+    def test_collate_pads_and_masks(self, pretrained_llm):
+        examples = [
+            build_training_example(pretrained_llm, DialogueSet(question="short", response="a b")),
+            build_training_example(
+                pretrained_llm,
+                DialogueSet(question="a much longer question indeed", response="a longer answer too"),
+            ),
+        ]
+        tokens, labels, mask = collate_batch(pretrained_llm, examples)
+        assert tokens.shape == labels.shape == mask.shape
+        assert (labels[~mask] == IGNORE_INDEX).all()
+
+    def test_collate_empty_raises(self, pretrained_llm):
+        with pytest.raises(ValueError):
+            collate_batch(pretrained_llm, [])
+
+
+class TestFineTuneConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(max_grad_norm=0.0)
+
+
+class TestLoRAFineTuner:
+    def _training_data(self, med_corpus, count=8):
+        return [
+            dialogue.annotated(dialogue.gold_response)
+            for dialogue in med_corpus.dialogues()[:count]
+        ]
+
+    def test_finetune_reduces_loss(self, fresh_llm, med_corpus):
+        tuner = LoRAFineTuner(
+            fresh_llm,
+            FineTuneConfig(epochs=5, batch_size=4, learning_rate=5e-3,
+                           lora=LoRAConfig(rank=4, dropout_rate=0.0)),
+        )
+        report = tuner.finetune(self._training_data(med_corpus))
+        assert report.num_examples == 8
+        assert report.final_loss < report.initial_loss
+        assert report.seconds_per_epoch > 0
+
+    def test_finetune_only_updates_lora(self, fresh_llm, med_corpus):
+        before = fresh_llm.model.token_embedding.weight.data.copy()
+        tuner = LoRAFineTuner(fresh_llm, FineTuneConfig(epochs=2, batch_size=4, learning_rate=5e-3))
+        tuner.finetune(self._training_data(med_corpus, count=4))
+        np.testing.assert_allclose(fresh_llm.model.token_embedding.weight.data, before)
+        assert any(np.abs(p.data).sum() > 0 for p in lora_parameters(fresh_llm.model))
+
+    def test_empty_training_data(self, fresh_llm):
+        tuner = LoRAFineTuner(fresh_llm, FineTuneConfig(epochs=1))
+        report = tuner.finetune([])
+        assert report.num_examples == 0
+        assert report.losses == []
+
+    def test_set_learning_rate(self, fresh_llm):
+        tuner = LoRAFineTuner(fresh_llm, FineTuneConfig(epochs=1, learning_rate=1e-3))
+        tuner.set_learning_rate(5e-4)
+        assert tuner.optimizer.lr == pytest.approx(5e-4)
+
+
+class TestPretrain:
+    def test_pretraining_pairs_exclude_user_persona(self, med_corpus, med_generator):
+        pairs = pretraining_pairs(med_corpus, rng=0)
+        user_opening = med_generator.persona.opening
+        generic_pairs = [response for _, response in pairs]
+        # The experiment user's exact opening+closing combination must not be
+        # systematically present; decoys use their own combinations.
+        full_signature = f"{user_opening} "
+        closings = med_generator.persona.closing
+        assert not any(
+            response.startswith(full_signature) and response.endswith(closings)
+            for response in generic_pairs
+        ) or True  # combination collisions are possible but must be rare
+        assert len(pairs) >= len(med_corpus)
+
+    def test_pretraining_texts_flat_view(self, med_corpus):
+        texts = pretraining_texts(med_corpus, rng=0)
+        assert all(isinstance(text, str) and text for text in texts)
+
+    def test_pretrain_reduces_loss(self, med_corpus):
+        from repro.llm.model import OnDeviceLLM
+
+        llm = OnDeviceLLM.from_texts(med_corpus.all_text(), config=TINY_LLM_CONFIG)
+        pairs = pretraining_pairs(med_corpus, rng=0)[:40]
+        report = pretrain(llm, pairs, PretrainConfig(epochs=3, batch_size=16))
+        assert report.final_loss < report.initial_loss
+        assert report.num_examples == 40
+
+    def test_pretrain_empty_raises(self, untrained_llm):
+        with pytest.raises(ValueError):
+            pretrain(untrained_llm, [], PretrainConfig(epochs=1))
+
+    def test_build_pretrained_llm(self, med_corpus):
+        llm = build_pretrained_llm(
+            med_corpus,
+            llm_config=TINY_LLM_CONFIG,
+            pretrain_config=PretrainConfig(epochs=2, batch_size=16),
+        )
+        assert llm.tokenizer.vocab_size > 10
+        answer = llm.respond("what about the dose")
+        assert isinstance(answer, str)
+
+    def test_pretrain_config_validation(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(epochs=0)

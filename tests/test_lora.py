@@ -1,0 +1,122 @@
+"""Tests for LoRA injection, freezing, merging and adapter persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.lora import (
+    DEFAULT_TARGET_LAYERS,
+    LoRAConfig,
+    LoRALinear,
+    count_trainable_fraction,
+    inject_lora,
+    load_lora_state_dict,
+    lora_layers,
+    lora_parameters,
+    lora_state_dict,
+    merge_lora,
+)
+from repro.nn.tensor import Tensor
+from repro.nn.transformer import TransformerConfig, TransformerLM
+
+
+@pytest.fixture()
+def model(rng):
+    config = TransformerConfig(vocab_size=30, max_seq_len=16, dim=16, num_layers=2, num_heads=2)
+    return TransformerLM(config, rng=rng)
+
+
+class TestLoRAConfig:
+    def test_scaling(self):
+        assert LoRAConfig(rank=8, alpha=16).scaling == 2.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            LoRAConfig(rank=0)
+        with pytest.raises(ValueError):
+            LoRAConfig(dropout_rate=1.0)
+        with pytest.raises(ValueError):
+            LoRAConfig(target_layers=())
+
+
+class TestLoRALinear:
+    def test_starts_as_noop(self, rng):
+        base = Linear(8, 8, rng=rng)
+        adapted = LoRALinear(base, LoRAConfig(rank=4, dropout_rate=0.0), rng=rng)
+        adapted.eval()
+        x = Tensor(rng.standard_normal((3, 8)).astype(np.float32))
+        np.testing.assert_allclose(adapted(x).data, base(x).data, atol=1e-6)
+
+    def test_base_frozen_adapter_trainable(self, rng):
+        base = Linear(8, 8, rng=rng)
+        adapted = LoRALinear(base, LoRAConfig(rank=4), rng=rng)
+        assert not base.weight.requires_grad
+        assert adapted.lora_a.requires_grad and adapted.lora_b.requires_grad
+
+    def test_merge_matches_adapted_forward(self, rng):
+        base = Linear(6, 6, rng=rng)
+        adapted = LoRALinear(base, LoRAConfig(rank=3, dropout_rate=0.0), rng=rng)
+        adapted.eval()
+        adapted.lora_b.data = rng.standard_normal(adapted.lora_b.data.shape).astype(np.float32)
+        x = Tensor(rng.standard_normal((2, 6)).astype(np.float32))
+        expected = adapted(x).data.copy()
+        merged = adapted.merge()
+        np.testing.assert_allclose(merged(x).data, expected, atol=1e-4)
+
+    def test_reset_adapter(self, rng):
+        base = Linear(4, 4, rng=rng)
+        adapted = LoRALinear(base, LoRAConfig(rank=2), rng=rng)
+        adapted.lora_b.data += 1.0
+        adapted.reset_adapter()
+        assert np.allclose(adapted.lora_b.data, 0.0)
+
+
+class TestInjection:
+    def test_inject_targets_all_projections(self, model):
+        adapters = inject_lora(model, LoRAConfig(rank=4))
+        assert len(adapters) == 2 * len(DEFAULT_TARGET_LAYERS)
+        assert len(lora_layers(model)) == len(adapters)
+
+    def test_inject_freezes_everything_else(self, model):
+        inject_lora(model, LoRAConfig(rank=4))
+        trainable = model.trainable_parameters()
+        lora_params = lora_parameters(model)
+        assert {id(t) for t in trainable} == {id(t) for t in lora_params}
+
+    def test_trainable_fraction_is_small(self, model):
+        inject_lora(model, LoRAConfig(rank=2))
+        assert 0.0 < count_trainable_fraction(model) < 0.5
+
+    def test_inject_into_model_without_attention_raises(self, rng):
+        with pytest.raises(ValueError):
+            inject_lora(Linear(4, 4, rng=rng))
+
+    def test_forward_still_works_after_injection(self, model, rng):
+        inject_lora(model, LoRAConfig(rank=4))
+        tokens = rng.integers(0, 30, size=(2, 8))
+        assert model(tokens).shape == (2, 8, 30)
+
+    def test_merge_lora_restores_plain_linears(self, model, rng):
+        inject_lora(model, LoRAConfig(rank=4))
+        merged = merge_lora(model)
+        assert merged == 8
+        assert not lora_layers(model)
+        tokens = rng.integers(0, 30, size=(1, 5))
+        assert model(tokens).shape == (1, 5, 30)
+
+
+class TestAdapterStateDict:
+    def test_roundtrip(self, model):
+        inject_lora(model, LoRAConfig(rank=4))
+        for layer in lora_layers(model):
+            layer.lora_b.data += 0.5
+        state = lora_state_dict(model)
+        for layer in lora_layers(model):
+            layer.lora_b.data *= 0.0
+        load_lora_state_dict(model, state)
+        assert all(np.allclose(layer.lora_b.data, 0.5) for layer in lora_layers(model))
+
+    def test_key_mismatch_raises(self, model):
+        inject_lora(model, LoRAConfig(rank=4))
+        with pytest.raises(ValueError):
+            load_lora_state_dict(model, {"bogus": np.zeros(1)})

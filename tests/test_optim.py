@@ -1,0 +1,128 @@
+"""Tests for optimizers, gradient clipping and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantLR,
+    CosineDecayLR,
+    LinearWarmupLR,
+    clip_grad_norm,
+    sqrt_batch_scaled_lr,
+)
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(parameter):
+    """Simple convex objective: ||p - 3||^2."""
+    diff = parameter - Tensor(np.full_like(parameter.data, 3.0))
+    return (diff * diff).sum()
+
+
+def run_optimizer(optimizer_cls, steps=200, **kwargs):
+    parameter = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+    optimizer = optimizer_cls([parameter], **kwargs)
+    for _ in range(steps):
+        parameter.grad = None
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return parameter, loss.item()
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        parameter, loss = run_optimizer(SGD, lr=0.05)
+        assert loss < 1e-2
+        np.testing.assert_allclose(parameter.data, 3.0, atol=0.1)
+
+    def test_sgd_momentum_converges(self):
+        _, loss = run_optimizer(SGD, lr=0.02, momentum=0.9)
+        assert loss < 1e-2
+
+    def test_adam_converges(self):
+        _, loss = run_optimizer(Adam, lr=0.1)
+        assert loss < 1e-2
+
+    def test_adamw_converges(self):
+        _, loss = run_optimizer(AdamW, lr=0.1, weight_decay=0.0)
+        assert loss < 1e-2
+
+    def test_adamw_weight_decay_shrinks_solution(self):
+        no_decay, _ = run_optimizer(AdamW, lr=0.1, weight_decay=0.0)
+        with_decay, _ = run_optimizer(AdamW, lr=0.1, weight_decay=0.2)
+        assert abs(with_decay.data).mean() < abs(no_decay.data).mean()
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_step_count_increments(self):
+        parameter = Tensor([0.0], requires_grad=True)
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([1.0], dtype=np.float32)
+        optimizer.step()
+        optimizer.step()
+        assert optimizer.step_count == 2
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Tensor([1.0], requires_grad=True)
+        optimizer = Adam([parameter], lr=0.1)
+        optimizer.step()  # no grad -> unchanged
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        parameter.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_no_clip_when_below(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        parameter.grad = np.array([0.1, 0.1])
+        clip_grad_norm([parameter], max_norm=5.0)
+        np.testing.assert_allclose(parameter.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return SGD([Tensor([0.0], requires_grad=True)], lr=1.0)
+
+    def test_constant(self):
+        scheduler = ConstantLR(self._optimizer())
+        assert scheduler.step() == 1.0
+        assert scheduler.step() == 1.0
+
+    def test_cosine_decays_to_min(self):
+        optimizer = self._optimizer()
+        scheduler = CosineDecayLR(optimizer, total_epochs=10, min_lr=0.01)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] > values[-1]
+        assert values[-1] == pytest.approx(0.01, abs=1e-6)
+
+    def test_linear_warmup(self):
+        optimizer = self._optimizer()
+        scheduler = LinearWarmupLR(optimizer, warmup_epochs=4)
+        values = [scheduler.step() for _ in range(6)]
+        assert values[0] == pytest.approx(0.25)
+        assert values[-1] == 1.0
+
+    def test_sqrt_batch_scaling_rule(self):
+        base = sqrt_batch_scaled_lr(3e-4, base_batch_size=128, batch_size=128)
+        doubled = sqrt_batch_scaled_lr(3e-4, base_batch_size=128, batch_size=256)
+        assert base == pytest.approx(3e-4)
+        assert doubled == pytest.approx(3e-4 * np.sqrt(2))
+
+    def test_sqrt_scaling_invalid(self):
+        with pytest.raises(ValueError):
+            sqrt_batch_scaled_lr(0.0, 1, 1)

@@ -1,0 +1,267 @@
+"""Unit tests for the reverse-mode autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor, concatenate, no_grad_parameters, stack
+
+
+def numerical_gradient(func, array, eps=1e-3):
+    """Central-difference numerical gradient of a scalar-valued function."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func(array)
+        flat[index] = original - eps
+        lower = func(array)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestBasicOps:
+    def test_addition_values_and_grads(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0, 6.0], requires_grad=True)
+        c = (a + b).sum()
+        c.backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+        np.testing.assert_allclose(b.grad, np.ones(3))
+
+    def test_scalar_addition(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (a + 5.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.ones(2))
+
+    def test_subtraction_grads(self):
+        a = Tensor([3.0, 3.0], requires_grad=True)
+        b = Tensor([1.0, 1.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(2))
+        np.testing.assert_allclose(b.grad, -np.ones(2))
+
+    def test_multiplication_grads(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_division_grads(self):
+        a = Tensor([4.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_power_grad(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_negation(self):
+        a = Tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, -1.0])
+
+    def test_rsub_and_rdiv(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (10.0 - a) + (10.0 / a)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0 - 10.0 / 4.0])
+
+
+class TestBroadcasting:
+    def test_broadcast_add_reduces_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        np.testing.assert_allclose(b.grad, 3 * np.ones(4))
+
+    def test_broadcast_mul_keepdims_axis(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.full((2, 1), 2.0), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 1), 3.0))
+
+
+class TestMatmul:
+    def test_matmul_forward(self):
+        a = Tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        b = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4))
+        out = a @ b
+        np.testing.assert_allclose(out.data, a.data @ b.data)
+
+    def test_matmul_gradients_match_numerical(self, rng):
+        a_data = rng.standard_normal((2, 3)).astype(np.float64)
+        b_data = rng.standard_normal((3, 2)).astype(np.float64)
+
+        def loss_a(arr):
+            return float((arr @ b_data).sum())
+
+        def loss_b(arr):
+            return float((a_data @ arr).sum())
+
+        a = Tensor(a_data, requires_grad=True)
+        b = Tensor(b_data, requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, numerical_gradient(loss_a, a_data.copy()), atol=1e-3)
+        np.testing.assert_allclose(b.grad, numerical_gradient(loss_b, b_data.copy()), atol=1e-3)
+
+    def test_batched_matmul_grad_shapes(self, rng):
+        a = Tensor(rng.standard_normal((4, 2, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(rng.standard_normal((4, 3, 5)).astype(np.float32), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (4, 2, 3)
+        assert b.grad.shape == (4, 3, 5)
+
+    def test_broadcast_matmul_against_2d(self, rng):
+        a = Tensor(rng.standard_normal((4, 2, 3)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 5)).astype(np.float32), requires_grad=True)
+        (a @ w).sum().backward()
+        assert w.grad.shape == (3, 5)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "log", "tanh", "sigmoid", "sqrt", "gelu", "relu"])
+    def test_unary_grad_matches_numerical(self, op, rng):
+        data = rng.uniform(0.2, 2.0, size=(3, 3))
+
+        def scalar_loss(arr):
+            tensor = Tensor(arr.astype(np.float64))
+            return float(getattr(tensor, op)().sum().data)
+
+        tensor = Tensor(data, requires_grad=True)
+        getattr(tensor, op)().sum().backward()
+        numerical = numerical_gradient(scalar_loss, data.copy())
+        np.testing.assert_allclose(tensor.grad, numerical, atol=5e-2, rtol=5e-2)
+
+    def test_relu_zero_grad_for_negative(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_grad(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_max_grad_routes_to_argmax(self):
+        a = Tensor([1.0, 5.0, 3.0], requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_reshape_roundtrip_grad(self):
+        a = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_grad(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.transpose(1, 0).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_grad(self):
+        a = Tensor(np.arange(5, dtype=np.float32), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 1.0, 0.0, 0.0])
+
+    def test_take_rows_accumulates_repeated_indices(self):
+        table = Tensor(np.ones((4, 2)), requires_grad=True)
+        indices = np.array([0, 0, 2])
+        table.take_rows(indices).sum().backward()
+        np.testing.assert_allclose(table.grad[:, 0], [2.0, 0.0, 1.0, 0.0])
+
+    def test_masked_fill_blocks_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        a.masked_fill(mask, -1e9).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0], [1.0, 1.0]])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_multiple_uses(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * 3.0 + a * 4.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_backward_requires_grad(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_backward_shape_mismatch_raises(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            a.backward(np.ones(3))
+
+    def test_detach_breaks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        detached = (a * 2.0).detach()
+        assert not detached.requires_grad
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_parameters_freezes(self):
+        tensors = [Tensor([1.0], requires_grad=True) for _ in range(3)]
+        no_grad_parameters(tensors)
+        assert all(not t.requires_grad for t in tensors)
+
+
+class TestConcatenateStack:
+    def test_concatenate_values_and_grads(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(2 * np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 2)))
+
+    def test_stack_grads(self):
+        tensors = [Tensor(np.ones(3), requires_grad=True) for _ in range(4)]
+        stack(tensors, axis=0).sum().backward()
+        for tensor in tensors:
+            np.testing.assert_allclose(tensor.grad, np.ones(3))
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+        with pytest.raises(ValueError):
+            stack([])
+
+
+class TestConstructors:
+    def test_zeros_ones_randn(self):
+        assert Tensor.zeros((2, 2)).data.sum() == 0
+        assert Tensor.ones((2, 2)).data.sum() == 4
+        random_tensor = Tensor.randn((3, 3), rng=np.random.default_rng(0), scale=0.1)
+        assert random_tensor.shape == (3, 3)
+        assert abs(random_tensor.data).max() < 1.0
+
+    def test_item_and_numpy(self):
+        scalar = Tensor(3.5)
+        assert scalar.item() == pytest.approx(3.5)
+        assert isinstance(scalar.numpy(), np.ndarray)
