@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Decode-throughput regression gate.
+
+Runs the smoke-scale generation benchmark (``benchmarks/bench_generation.py``)
+and compares the measured tokens/sec against the committed baseline
+(``benchmarks/BENCH_generation_baseline.json``).  Exits non-zero when any
+decode path regresses by more than the allowed fraction (default 20%), so CI
+catches changes that quietly slow the fast inference path down.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
+
+``--update`` rewrites the baseline from the current run (use after an
+intentional perf change, on the machine that produces the committed numbers).
+Absolute throughput is machine-dependent; the committed baseline should be
+refreshed whenever the reference machine changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_generation_baseline.json"
+
+PATHS_CHECKED = ("full_forward", "kv_cached", "batched")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="maximum allowed fractional regression per decode path (default 0.2)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baseline from the current run",
+    )
+    parser.add_argument(
+        "--ratio-only", action="store_true",
+        help="skip the machine-dependent absolute-throughput comparison and "
+             "enforce only the kv-cached-over-full-forward speedup ratio "
+             "(use on machines slower than the baseline machine)",
+    )
+    args = parser.parse_args()
+
+    from bench_generation import run_benchmark
+
+    summary = run_benchmark()
+    current = summary["tokens_per_sec"]
+    print("measured tokens/sec:", json.dumps(current))
+
+    if args.update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())["tokens_per_sec"]
+    print("baseline tokens/sec:", json.dumps(baseline))
+
+    failures = []
+    if args.ratio_only:
+        print("  (absolute-throughput comparison skipped: --ratio-only)")
+    else:
+        for path in PATHS_CHECKED:
+            reference = float(baseline[path])
+            measured = float(current[path])
+            floor = reference * (1.0 - args.tolerance)
+            status = "ok" if measured >= floor else "REGRESSED"
+            print(f"  {path:<14} {measured:>10.1f} vs baseline {reference:>10.1f} "
+                  f"(floor {floor:.1f}) {status}")
+            if measured < floor:
+                failures.append(path)
+
+    # The structural guarantee is machine-independent: cached decode must
+    # stay well ahead of the full-forward reference path.
+    kv_speedup = float(current["kv_cached"]) / float(current["full_forward"])
+    print(f"  kv_cached speedup over full_forward: {kv_speedup:.2f}x (required >= 5.0x)")
+    if kv_speedup < 5.0:
+        failures.append("kv_cached_speedup")
+
+    if failures:
+        print(f"FAIL: decode throughput regressed: {', '.join(failures)}")
+        return 1
+    print("PASS: decode throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -83,6 +83,15 @@ class DataBuffer:
         self._entries: List[BufferEntry] = []
         self._replacements = 0
         self._insertions = 0
+        # Derived views rebuilt lazily and dropped on mutation.  Offers are
+        # far more frequent than insertions, so the stacked embedding matrix
+        # (K-Center) and the domain index (IDD) are usually served from cache.
+        self._stacked_embeddings: Optional[np.ndarray] = None
+        self._domain_index: Optional[Dict[Optional[str], List[int]]] = None
+
+    def _invalidate_views(self) -> None:
+        self._stacked_embeddings = None
+        self._domain_index = None
 
     # -- container protocol ------------------------------------------------- #
     def __len__(self) -> int:
@@ -143,14 +152,33 @@ class DataBuffer:
         return [entry.dialogue for entry in self._entries]
 
     def embeddings(self) -> np.ndarray:
-        """Stacked embeddings of all entries, shape ``(len(buffer), dim)``."""
+        """Stacked embeddings of all entries, shape ``(len(buffer), dim)``.
+
+        The stacked matrix is cached between mutations; treat it as
+        read-only.
+        """
         if not self._entries:
             return np.zeros((0, 0))
-        return np.stack([np.asarray(entry.embedding, dtype=np.float64) for entry in self._entries])
+        if self._stacked_embeddings is None:
+            stacked = np.stack(
+                [np.asarray(entry.embedding, dtype=np.float64) for entry in self._entries]
+            )
+            stacked.setflags(write=False)  # callers share the cached matrix
+            self._stacked_embeddings = stacked
+        return self._stacked_embeddings
+
+    def _domain_indices(self) -> Dict[Optional[str], List[int]]:
+        if self._domain_index is None:
+            index: Dict[Optional[str], List[int]] = {}
+            for position, entry in enumerate(self._entries):
+                index.setdefault(entry.dominant_domain, []).append(position)
+            self._domain_index = index
+        return self._domain_index
 
     def entries_in_domain(self, domain: Optional[str]) -> List[BufferEntry]:
         """Entries whose dominant domain equals ``domain``."""
-        return [entry for entry in self._entries if entry.dominant_domain == domain]
+        positions = self._domain_indices().get(domain, [])
+        return [self._entries[position] for position in positions]
 
     def embeddings_in_domain(self, domain: Optional[str]) -> List[np.ndarray]:
         """Embeddings of the entries sharing dominant domain ``domain``.
@@ -171,6 +199,7 @@ class DataBuffer:
             raise RuntimeError("buffer is full; use replace() with an explicit victim index")
         self._entries.append(entry)
         self._insertions += 1
+        self._invalidate_views()
         return len(self._entries) - 1
 
     def replace(self, index: int, entry: BufferEntry) -> BufferEntry:
@@ -181,9 +210,11 @@ class DataBuffer:
         self._entries[index] = entry
         self._insertions += 1
         self._replacements += 1
+        self._invalidate_views()
         return evicted
 
     def clear(self) -> None:
         """Remove every entry (the paper does *not* clear after fine-tuning;
         this exists for tests and ablations)."""
         self._entries.clear()
+        self._invalidate_views()

@@ -68,6 +68,9 @@ class LearningCurvePoint:
     seen: int
     rouge_1: float
     finetune_round: int
+    # Wall-clock seconds the evaluator spent producing this point (0.0 when
+    # unrecorded); the profiling signal the fast inference path optimizes.
+    eval_seconds: float = 0.0
 
 
 @dataclass
@@ -171,6 +174,13 @@ class PersonalizationFramework:
         training_data = originals + synthesized
         with self.timer.section("finetune"):
             report = self.finetuner.finetune(training_data)
+        # Fine-tuning changed the embedding function; cached per-text
+        # embeddings no longer reflect the model.  An injected selector may
+        # carry its own scorer, so invalidate that one too.
+        self.scorer.invalidate_embeddings()
+        selector_scorer = getattr(self.selector, "scorer", None)
+        if selector_scorer is not None and selector_scorer is not self.scorer:
+            selector_scorer.invalidate_embeddings()
         self._finetune_rounds += 1
         self.recorder.record(
             "finetune_round",
@@ -203,7 +213,12 @@ class PersonalizationFramework:
             with self.timer.section("evaluation"):
                 initial = evaluator(self.llm)
             result.learning_curve.append(
-                LearningCurvePoint(seen=0, rouge_1=initial, finetune_round=0)
+                LearningCurvePoint(
+                    seen=0,
+                    rouge_1=initial,
+                    finetune_round=0,
+                    eval_seconds=self.timer.record("evaluation").durations[-1],
+                )
             )
 
         for chunk in stream.chunks():
@@ -221,7 +236,10 @@ class PersonalizationFramework:
                     score = evaluator(self.llm)
                 result.learning_curve.append(
                     LearningCurvePoint(
-                        seen=self._seen, rouge_1=score, finetune_round=self._finetune_rounds
+                        seen=self._seen,
+                        rouge_1=score,
+                        finetune_round=self._finetune_rounds,
+                        eval_seconds=self.timer.record("evaluation").durations[-1],
                     )
                 )
 

@@ -17,8 +17,9 @@ what makes the selection self-supervised.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -80,14 +81,20 @@ def entropy_of_embedding_score(embedding: np.ndarray, text: str) -> float:
     return entropy_of_embedding(embedding, num_tokens)
 
 
+def domain_specific_score_from_counts(counts: Dict[str, int], num_tokens: int) -> float:
+    """DSS (Eq. 2) from precomputed overlap counts and token count."""
+    if num_tokens == 0:
+        return 0.0
+    ratios = [count / num_tokens for count in counts.values()]
+    return float(np.mean(ratios))
+
+
 def domain_specific_score(text: str, lexicons: LexiconCollection) -> float:
     """DSS (Eq. 2): mean over domains of ``|T ∩ l_i| / n``."""
     tokens = split_words(text)
-    if not tokens:
-        return 0.0
-    counts = lexicons.overlap_counts(text)
-    ratios = [count / len(tokens) for count in counts.values()]
-    return float(np.mean(ratios))
+    return domain_specific_score_from_counts(
+        lexicons.overlap_counts_from_tokens(tokens), len(tokens)
+    )
 
 
 def dominant_domain(text: str, lexicons: LexiconCollection) -> Optional[str]:
@@ -123,19 +130,82 @@ def in_domain_dissimilarity(
 
 
 class QualityScorer:
-    """Computes the full (EOE, DSS, IDD) triple for incoming dialogue sets."""
+    """Computes the full (EOE, DSS, IDD) triple for incoming dialogue sets.
 
-    def __init__(self, embedder: EmbeddingFunction, lexicons: LexiconCollection) -> None:
+    Two memoization layers keep the streaming profiling loop off the slow
+    paths:
+
+    * a *lexicon profile* cache — per text, the token count, per-domain
+      overlap counts and the dominant domain.  A single selection offer needs
+      the profile several times (dominant domain for the IDD reference set,
+      DSS inside :meth:`score`), and each naive call re-splits the text once
+      per lexicon; with the cache the text is tokenized once, ever.
+    * an *embedding* cache — per text, the single-vector embedding used for
+      IDD / K-Center comparisons.  This cache depends on the model weights,
+      so it must be invalidated whenever the model is fine-tuned
+      (:meth:`invalidate_embeddings`; the framework does this after every
+      fine-tuning round).
+
+    Both caches are bounded LRU maps so an unbounded stream cannot grow them
+    without limit.
+    """
+
+    def __init__(
+        self,
+        embedder: EmbeddingFunction,
+        lexicons: LexiconCollection,
+        cache_size: int = 4096,
+    ) -> None:
         self.embedder = embedder
         self.lexicons = lexicons
+        self._cache_size = max(int(cache_size), 1)
+        self._profile_cache: "OrderedDict[str, Tuple[int, Dict[str, int], Optional[str]]]" = (
+            OrderedDict()
+        )
+        self._embedding_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
 
+    # -- caches --------------------------------------------------------------- #
+    @staticmethod
+    def _cache_get(cache: OrderedDict, key: str):
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+    def _cache_put(self, cache: OrderedDict, key: str, value) -> None:
+        cache[key] = value
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+
+    def lexicon_profile(self, text: str) -> Tuple[int, Dict[str, int], Optional[str]]:
+        """``(num_tokens, overlap_counts, dominant_domain)`` for ``text``."""
+        cached = self._cache_get(self._profile_cache, text)
+        if cached is not None:
+            return cached
+        tokens = split_words(text)
+        counts = self.lexicons.overlap_counts_from_tokens(tokens)
+        dominant = self.lexicons.dominant_from_counts(counts)
+        profile = (len(tokens), counts, dominant)
+        self._cache_put(self._profile_cache, text, profile)
+        return profile
+
+    def invalidate_embeddings(self) -> None:
+        """Drop cached embeddings (call whenever the model weights change)."""
+        self._embedding_cache.clear()
+
+    # -- metric access -------------------------------------------------------- #
     def embed(self, text: str) -> np.ndarray:
         """Single-vector embedding used for IDD / K-Center comparisons."""
-        return np.asarray(self.embedder.embed_text(text), dtype=np.float64)
+        cached = self._cache_get(self._embedding_cache, text)
+        if cached is not None:
+            return cached
+        embedding = np.asarray(self.embedder.embed_text(text), dtype=np.float64)
+        self._cache_put(self._embedding_cache, text, embedding)
+        return embedding
 
     def dominant_domain(self, text: str) -> Optional[str]:
         """Dominant domain of ``text`` under the scorer's lexicons."""
-        return dominant_domain(text, self.lexicons)
+        return self.lexicon_profile(text)[2]
 
     def score(
         self,
@@ -158,7 +228,8 @@ class QualityScorer:
         if text_embedding is None:
             text_embedding = np.asarray(token_embeddings, dtype=np.float64).mean(axis=0)
         eoe = entropy_of_embedding_score(token_embeddings, text)
-        dss = domain_specific_score(text, self.lexicons)
+        num_tokens, counts, _ = self.lexicon_profile(text)
+        dss = domain_specific_score_from_counts(counts, num_tokens)
         idd = in_domain_dissimilarity(
             text_embedding, same_domain_embeddings, fallback_embeddings=fallback_embeddings
         )

@@ -36,7 +36,7 @@ from typing import List, Optional, Sequence
 from repro.data.dialogue import DialogueSet
 from repro.llm.generation import GenerationConfig
 from repro.llm.model import OnDeviceLLM
-from repro.textmetrics.rouge import rouge_1_f1
+from repro.textmetrics.rouge import Rouge1Reference
 from repro.tokenizer.word_tokenizer import split_words
 from repro.utils.config import require_choice, require_in_unit_interval, require_non_negative
 from repro.utils.rng import as_generator
@@ -111,6 +111,7 @@ class DataSynthesizer:
         self.config = config or SynthesisConfig()
         self._rng = as_generator(rng if rng is not None else self.config.seed)
         self.stats = SynthesisStats()
+        self._reference: Optional[Rouge1Reference] = None
 
     # ------------------------------------------------------------------ #
     # candidate generation strategies
@@ -175,9 +176,20 @@ class DataSynthesizer:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    def _reference_for(self, original: DialogueSet) -> Rouge1Reference:
+        """Pre-tokenized ROUGE reference for ``original`` (one-slot cache).
+
+        All attempts for one original compare against the same text, so the
+        reference side of the ROUGE-1 check is tokenized exactly once.
+        """
+        text = original.text()
+        if self._reference is None or self._reference.text != text:
+            self._reference = Rouge1Reference(text)
+        return self._reference
+
     def passes_sanity_check(self, candidate: DialogueSet, original: DialogueSet) -> bool:
         """ROUGE-1 similarity sanity check against the original dialogue set."""
-        similarity = rouge_1_f1(candidate.text(), original.text())
+        similarity = self._reference_for(original).f1(candidate.text())
         return similarity >= self.config.similarity_threshold
 
     def synthesize_for(self, original: DialogueSet) -> List[DialogueSet]:

@@ -83,11 +83,26 @@ class LexiconCollection:
 
     def overlap_counts(self, text: str) -> Dict[str, int]:
         """``|T ∩ l_i|`` for every domain ``l_i``."""
-        return {name: lexicon.overlap_count(text) for name, lexicon in self._lexicons.items()}
+        return self.overlap_counts_from_tokens(split_words(text))
+
+    def overlap_counts_from_tokens(self, tokens: Sequence[str]) -> Dict[str, int]:
+        """``|T ∩ l_i|`` per domain for an already-tokenized text.
+
+        Splitting once and counting against every lexicon avoids the m-fold
+        re-tokenization of calling ``lexicon.overlap_count(text)`` per domain.
+        """
+        return {
+            name: sum(1 for token in tokens if token in lexicon.words)
+            for name, lexicon in self._lexicons.items()
+        }
 
     def dominant_domain(self, text: str) -> Optional[str]:
         """``argmax_i |T ∩ l_i|`` (Eq. 3); ``None`` when no domain overlaps."""
-        counts = self.overlap_counts(text)
+        return self.dominant_from_counts(self.overlap_counts(text))
+
+    @staticmethod
+    def dominant_from_counts(counts: Dict[str, int]) -> Optional[str]:
+        """The argmax domain of precomputed overlap counts (ties: first wins)."""
         best_name, best_count = None, 0
         for name, count in counts.items():
             if count > best_count:

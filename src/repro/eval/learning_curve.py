@@ -30,6 +30,14 @@ class LearningCurve:
         """y-axis: ROUGE-1 at each measurement."""
         return [point.rouge_1 for point in self.points]
 
+    def eval_seconds(self) -> List[float]:
+        """Evaluator wall-clock seconds behind each measurement point."""
+        return [point.eval_seconds for point in self.points]
+
+    def total_eval_seconds(self) -> float:
+        """Total evaluator wall-clock time spent building this curve."""
+        return float(sum(point.eval_seconds for point in self.points))
+
     @property
     def final(self) -> float:
         """ROUGE-1 at the last measurement (0.0 for an empty curve)."""
@@ -70,6 +78,7 @@ class LearningCurve:
             "method": self.method,
             "seen": self.seen(),
             "rouge_1": self.rouge(),
+            "eval_seconds": self.eval_seconds(),
         }
 
 

@@ -8,7 +8,13 @@ from repro.llm.finetune import (
     build_training_example,
     collate_batch,
 )
-from repro.llm.generation import GenerationConfig, generate_tokens, sample_next_token
+from repro.llm.generation import (
+    GenerationConfig,
+    apply_repetition_penalty,
+    generate_tokens,
+    generate_tokens_batch,
+    sample_next_token,
+)
 from repro.llm.model import OnDeviceLLM, OnDeviceLLMConfig
 from repro.llm.pretrain import (
     PretrainConfig,
@@ -28,10 +34,12 @@ __all__ = [
     "OnDeviceLLMConfig",
     "PretrainConfig",
     "PretrainReport",
+    "apply_repetition_penalty",
     "build_pretrained_llm",
     "build_training_example",
     "collate_batch",
     "generate_tokens",
+    "generate_tokens_batch",
     "pretrain",
     "pretraining_texts",
     "sample_next_token",

@@ -111,15 +111,28 @@ def collate_batch(
     """
     if not examples:
         raise ValueError("collate_batch received an empty list of examples")
+    for row, (ids, label_ids) in enumerate(examples):
+        if len(ids) != len(label_ids):
+            raise ValueError(
+                f"example {row}: ids ({len(ids)}) and labels ({len(label_ids)}) "
+                "must have equal length"
+            )
     pad_id = llm.tokenizer.vocabulary.pad_id
-    max_len = max(len(ids) for ids, _ in examples)
+    lengths = np.asarray([len(ids) for ids, _ in examples], dtype=np.int64)
+    max_len = int(lengths.max())
+    mask = np.arange(max_len)[None, :] < lengths[:, None]
     batch = np.full((len(examples), max_len), pad_id, dtype=np.int64)
     labels = np.full((len(examples), max_len), IGNORE_INDEX, dtype=np.int64)
-    mask = np.zeros((len(examples), max_len), dtype=bool)
-    for row, (ids, label_ids) in enumerate(examples):
-        batch[row, : len(ids)] = ids
-        labels[row, : len(label_ids)] = label_ids
-        mask[row, : len(ids)] = True
+    # ids and labels of one example always have equal length, so a single
+    # boolean scatter fills both without any per-row loop.
+    batch[mask] = np.fromiter(
+        (token for ids, _ in examples for token in ids), dtype=np.int64, count=int(lengths.sum())
+    )
+    labels[mask] = np.fromiter(
+        (label for _, label_ids in examples for label in label_ids),
+        dtype=np.int64,
+        count=int(lengths.sum()),
+    )
     return batch, labels, mask
 
 

@@ -3,6 +3,21 @@
 The paper generates evaluation responses with temperature sampling
 (``τ = 0.5``); the same mechanism (plus optional top-k truncation and greedy
 decoding) is implemented here over the numpy transformer.
+
+Decoding runs on a dedicated fast inference path: forwards execute inside
+:func:`repro.nn.inference_mode` (no autograd tape is recorded) and feed a
+per-layer KV cache, so each new token costs one single-position forward
+instead of a full re-encode of the context window.  Because attention is
+causal, the cached keys/values are exactly what the full-context forward
+would compute, so the incremental path produces the same logits — the
+equivalence is asserted by the test suite.  When the context outgrows
+``max_seq_len`` the window slides, which shifts every absolute position; the
+cache is then invalidated and rebuilt from the truncated window, keeping the
+output identical to the always-full-forward reference.
+
+:func:`generate_tokens_batch` decodes many prompts in one left-padded batch
+with per-sequence position ids, padding masks and stop handling, which is how
+the evaluators amortize model forwards across the whole evaluation set.
 """
 
 from __future__ import annotations
@@ -12,6 +27,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.nn.tensor import inference_mode
 from repro.nn.transformer import TransformerLM
 from repro.utils.config import require_positive
 from repro.utils.rng import as_generator
@@ -50,14 +66,12 @@ def apply_repetition_penalty(
     Small models are prone to degenerate repetition loops; this keeps the
     sampled responses usable without changing which content the model knows.
     """
-    if penalty == 1.0 or not previous_ids:
+    if penalty == 1.0 or len(previous_ids) == 0:
         return logits
+    unique = np.unique(np.asarray(previous_ids, dtype=np.int64))
     adjusted = logits.copy()
-    for token_id in set(int(t) for t in previous_ids):
-        if adjusted[token_id] > 0:
-            adjusted[token_id] /= penalty
-        else:
-            adjusted[token_id] *= penalty
+    seen = adjusted[unique]
+    adjusted[unique] = np.where(seen > 0, seen / penalty, seen * penalty)
     return adjusted
 
 
@@ -88,12 +102,20 @@ def generate_tokens(
     prompt_ids: List[int],
     config: GenerationConfig,
     rng: Optional[np.random.Generator] = None,
+    use_cache: bool = True,
 ) -> List[int]:
     """Generate up to ``max_new_tokens`` ids following ``prompt_ids``.
 
     Decoding stops early when ``stop_token_id`` is produced.  The prompt is
     truncated from the left if it would exceed the model's context window so
     the most recent tokens are always visible.
+
+    With ``use_cache=True`` (the default) the prompt is encoded once and each
+    subsequent step feeds only the newly sampled token against the KV cache.
+    Whenever the visible window no longer extends the cached prefix — i.e. the
+    context hit ``max_seq_len`` and slid left, shifting every absolute
+    position — the cache is rebuilt from the truncated window, so the logits
+    match the full-forward reference (``use_cache=False``) at every step.
     """
     if not prompt_ids:
         raise ValueError("prompt_ids must contain at least one token")
@@ -103,18 +125,141 @@ def generate_tokens(
     context = list(prompt_ids)
     was_training = model.training
     model.eval()
+    cache = model.new_kv_cache() if use_cache else None
+    cached_tokens: List[int] = []
     try:
-        for _ in range(config.max_new_tokens):
-            window = context[-max_context:]
-            token_array = np.asarray(window, dtype=np.int64)[None, :]
-            logits = model(token_array)
-            next_id = sample_next_token(
-                logits.data[0, -1], config, rng=generator, previous_ids=generated
-            )
-            generated.append(next_id)
-            context.append(next_id)
-            if config.stop_token_id is not None and next_id == config.stop_token_id:
-                break
+        with inference_mode():
+            for _ in range(config.max_new_tokens):
+                window = context[-max_context:]
+                if cache is not None:
+                    prefix = len(cached_tokens)
+                    if 0 < prefix < len(window) and cached_tokens == window[:prefix]:
+                        feed = window[prefix:]
+                    else:
+                        cache.reset()
+                        feed = window
+                    token_array = np.asarray(feed, dtype=np.int64)[None, :]
+                    logits = model(token_array, kv_cache=cache)
+                    cached_tokens = list(window)
+                else:
+                    token_array = np.asarray(window, dtype=np.int64)[None, :]
+                    logits = model(token_array)
+                next_id = sample_next_token(
+                    logits.data[0, -1], config, rng=generator, previous_ids=generated
+                )
+                generated.append(next_id)
+                context.append(next_id)
+                if config.stop_token_id is not None and next_id == config.stop_token_id:
+                    break
+    finally:
+        if was_training:
+            model.train()
+    return generated
+
+
+def generate_tokens_batch(
+    model: TransformerLM,
+    prompts: Sequence[Sequence[int]],
+    config: GenerationConfig,
+    rng: Optional[np.random.Generator] = None,
+    pad_token_id: int = 0,
+) -> List[List[int]]:
+    """Decode many prompts in one padded batch; returns new ids per prompt.
+
+    Prompts are left-padded to a common length so every row's last real token
+    sits in the final column; per-row position ids start at zero on the first
+    real token and the padding columns are excluded via the attention mask, so
+    each row is conditioned exactly as it would be on its own.  Rows that
+    produce ``stop_token_id`` are marked finished (their outputs stop there)
+    while the remaining rows keep decoding; the loop exits as soon as every
+    row has finished.
+
+    Decoding is KV-cached and runs under :func:`repro.nn.inference_mode`.
+    When the padded window hits ``max_seq_len`` the batch is re-primed from
+    each row's last ``max_seq_len`` tokens (sliding-window truncation), which
+    invalidates and rebuilds the cache.
+    """
+    if not prompts:
+        return []
+    contexts: List[List[int]] = []
+    for index, prompt in enumerate(prompts):
+        ids = list(prompt)
+        if not ids:
+            raise ValueError(f"prompt {index} must contain at least one token")
+        contexts.append(ids)
+
+    generator = as_generator(rng)
+    max_context = model.config.max_seq_len
+    batch = len(contexts)
+    generated: List[List[int]] = [[] for _ in range(batch)]
+    finished = [False] * batch
+
+    was_training = model.training
+    model.eval()
+    cache = model.new_kv_cache()
+    mask: Optional[np.ndarray] = None
+    lengths: Optional[np.ndarray] = None  # per-row count of real (unpadded) tokens
+    last_sampled: List[int] = [0] * batch
+    try:
+        with inference_mode():
+            for step in range(config.max_new_tokens):
+                if step > 0 and cache.length + 1 <= max_context:
+                    # Incremental step: feed only the freshly sampled column.
+                    token_array = np.asarray(last_sampled, dtype=np.int64)[:, None]
+                    position_ids = lengths[:, None]
+                    mask = np.concatenate(
+                        [mask, np.ones((batch, 1), dtype=bool)], axis=1
+                    )
+                    logits = model(
+                        token_array,
+                        attention_mask=mask,
+                        kv_cache=cache,
+                        position_ids=position_ids,
+                    )
+                    lengths = lengths + 1
+                else:
+                    # Prime (or re-prime after the window slid): encode each
+                    # row's visible window in one left-padded forward.
+                    cache.reset()
+                    windows = [context[-max_context:] for context in contexts]
+                    width = max(len(window) for window in windows)
+                    token_array = np.full((batch, width), pad_token_id, dtype=np.int64)
+                    mask = np.zeros((batch, width), dtype=bool)
+                    position_ids = np.zeros((batch, width), dtype=np.int64)
+                    lengths = np.zeros(batch, dtype=np.int64)
+                    for row, window in enumerate(windows):
+                        pad = width - len(window)
+                        token_array[row, pad:] = window
+                        mask[row, pad:] = True
+                        position_ids[row, pad:] = np.arange(len(window))
+                        lengths[row] = len(window)
+                    logits = model(
+                        token_array,
+                        attention_mask=mask,
+                        kv_cache=cache,
+                        position_ids=position_ids,
+                    )
+                # Left padding guarantees every row's next-token logits sit in
+                # the last column.
+                final_logits = logits.data[:, -1, :]
+                for row in range(batch):
+                    next_id = sample_next_token(
+                        final_logits[row],
+                        config,
+                        rng=generator,
+                        previous_ids=generated[row],
+                    )
+                    last_sampled[row] = next_id
+                    contexts[row].append(next_id)
+                    if not finished[row]:
+                        generated[row].append(next_id)
+                        if (
+                            config.stop_token_id is not None
+                            and next_id == config.stop_token_id
+                        ):
+                            finished[row] = True
+                if all(finished):
+                    break
     finally:
         if was_training:
             model.train()

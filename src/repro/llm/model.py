@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.llm.generation import GenerationConfig, generate_tokens
+from repro.llm.generation import GenerationConfig, generate_tokens, generate_tokens_batch
 from repro.nn.lora import LoRAConfig, inject_lora, lora_layers, merge_lora
 from repro.nn.transformer import TransformerConfig, TransformerLM
 from repro.tokenizer.word_tokenizer import WordTokenizer
@@ -102,10 +102,28 @@ class OnDeviceLLM:
         return self.token_embeddings(text).mean(axis=0)
 
     def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
-        """Embedding vectors for a batch of texts, shape ``(len(texts), dim)``."""
+        """Embedding vectors for a batch of texts, shape ``(len(texts), dim)``.
+
+        All texts are encoded in one right-padded forward; padded positions
+        are excluded through the attention mask and from the per-text mean, so
+        each row equals the :meth:`embed_text` result for that text alone.
+        """
         if not texts:
             return np.zeros((0, self.config.dim), dtype=np.float32)
-        return np.stack([self.embed_text(text) for text in texts])
+        encoded = [
+            self.tokenizer.encode(text, add_bos=True, add_eos=False,
+                                  max_length=self.config.max_seq_len)
+            for text in texts
+        ]
+        output = np.zeros((len(texts), self.config.dim), dtype=np.float32)
+        occupied = [index for index, ids in enumerate(encoded) if ids]
+        if not occupied:
+            return output
+        batch, mask = self.tokenizer.pad_batch([encoded[i] for i in occupied])
+        hidden = self.model.hidden_states(batch, attention_mask=mask)
+        for row, index in enumerate(occupied):
+            output[index] = hidden[row, : len(encoded[index])].mean(axis=0)
+        return output
 
     # ------------------------------------------------------------------ #
     # generation
@@ -136,9 +154,7 @@ class OnDeviceLLM:
     ) -> str:
         """Answer a user question (prompt is ``<bos> question <sep>``)."""
         generation = generation or GenerationConfig(stop_token_id=self.tokenizer.vocabulary.eos_id)
-        question_ids = self.tokenizer.encode(question, add_bos=True, add_eos=False,
-                                             max_length=self.config.max_seq_len // 2)
-        prompt_ids = question_ids + [self.tokenizer.vocabulary.sep_id]
+        prompt_ids = self._prompt_ids_for_question(question)
         new_ids = generate_tokens(
             self.model,
             prompt_ids,
@@ -146,6 +162,62 @@ class OnDeviceLLM:
             rng=rng if rng is not None else self._generation_rng,
         )
         return self.tokenizer.decode(new_ids)
+
+    def _prompt_ids_for_question(self, question: str) -> List[int]:
+        """The ``<bos> question <sep>`` prompt ids used by :meth:`respond`."""
+        question_ids = self.tokenizer.encode(question, add_bos=True, add_eos=False,
+                                             max_length=self.config.max_seq_len // 2)
+        return question_ids + [self.tokenizer.vocabulary.sep_id]
+
+    def respond_batch(
+        self,
+        questions: Sequence[str],
+        generation: Optional[GenerationConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[str]:
+        """Answer a batch of user questions in one padded decoding pass.
+
+        Semantically the batched counterpart of calling :meth:`respond` per
+        question: each row is prompted with ``<bos> question <sep>`` and
+        decoded until ``stop_token_id`` or ``max_new_tokens``, but all rows
+        share the model forwards, so the per-question cost is amortized.
+        """
+        if not questions:
+            return []
+        generation = generation or GenerationConfig(stop_token_id=self.tokenizer.vocabulary.eos_id)
+        prompts = [self._prompt_ids_for_question(question) for question in questions]
+        new_ids = generate_tokens_batch(
+            self.model,
+            prompts,
+            generation,
+            rng=rng if rng is not None else self._generation_rng,
+            pad_token_id=self.tokenizer.vocabulary.pad_id,
+        )
+        return [self.tokenizer.decode(ids) for ids in new_ids]
+
+    def generate_batch(
+        self,
+        prompts: Sequence[str],
+        generation: Optional[GenerationConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[str]:
+        """Free-form continuations for a batch of prompts (one padded decode)."""
+        if not prompts:
+            return []
+        generation = generation or GenerationConfig(stop_token_id=self.tokenizer.vocabulary.eos_id)
+        prompt_ids = [
+            self.tokenizer.encode(prompt, add_bos=True, add_eos=False,
+                                  max_length=self.config.max_seq_len - 1)
+            for prompt in prompts
+        ]
+        new_ids = generate_tokens_batch(
+            self.model,
+            prompt_ids,
+            generation,
+            rng=rng if rng is not None else self._generation_rng,
+            pad_token_id=self.tokenizer.vocabulary.pad_id,
+        )
+        return [self.tokenizer.decode(ids) for ids in new_ids]
 
     # ------------------------------------------------------------------ #
     # LoRA plumbing

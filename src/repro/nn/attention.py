@@ -5,18 +5,61 @@ The projection layers are named ``q_proj``, ``k_proj``, ``v_proj`` and
 trainable layers are the QKV layers (q_proj, k_proj, v_proj) and attention
 output layer (o_proj)"), so the LoRA injection utilities can address them by
 the same names.
+
+For autoregressive decoding the layer supports an optional
+:class:`LayerKVCache`: the keys/values of previously processed positions are
+kept as plain arrays, so each incremental step only projects the newly fed
+tokens and attends against the cached context (O(T) work per token instead of
+O(T²)).  Because attention is causal, the cached keys/values are exactly what
+a full forward over the whole window would compute, so incremental decoding
+is numerically equivalent to the full-context forward.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
+
+
+class LayerKVCache:
+    """Cached key/value arrays of one attention layer.
+
+    ``keys`` and ``values`` have shape ``(batch, heads, cached_len, head_dim)``
+    and hold plain numpy data (no autograd graph) — the cache is an inference
+    structure and is meant to be used inside :func:`repro.nn.inference_mode`.
+    """
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self) -> None:
+        self.keys: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        """Number of cached positions (0 when empty)."""
+        return 0 if self.keys is None else int(self.keys.shape[2])
+
+    def reset(self) -> None:
+        """Drop all cached positions."""
+        self.keys = None
+        self.values = None
+
+    def extend(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append new positions and return the full (cached + new) arrays."""
+        if self.keys is None:
+            self.keys = keys
+            self.values = values
+        else:
+            self.keys = np.concatenate([self.keys, keys], axis=2)
+            self.values = np.concatenate([self.values, values], axis=2)
+        return self.keys, self.values
 
 
 class MultiHeadSelfAttention(Module):
@@ -50,28 +93,69 @@ class MultiHeadSelfAttention(Module):
         """(B, H, T, head_dim) -> (B, T, D)."""
         return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
 
-    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        cache: Optional[LayerKVCache] = None,
+    ) -> Tensor:
         """Apply causal self-attention.
 
-        ``attention_mask`` is an optional boolean array of shape ``(B, T)``
-        where ``False`` marks padding positions that must not be attended to.
+        ``attention_mask`` is an optional boolean array where ``False`` marks
+        padding positions that must not be attended to; its shape is
+        ``(B, T)`` without a cache and ``(B, past + T)`` with one (covering
+        the cached context as well as the newly fed tokens).
+
+        When ``cache`` is given, ``x`` holds only the newly fed positions;
+        their keys/values are appended to the cache and the queries attend
+        over the full cached context.
         """
+        if cache is not None and is_grad_enabled():
+            # The cache stores raw arrays: cached positions would silently
+            # drop out of the autograd graph.  Fail loudly instead.
+            raise RuntimeError(
+                "KV cache is an inference structure; wrap the forward in "
+                "repro.nn.inference_mode() when decoding with a cache"
+            )
         batch, seq, _ = x.shape
         queries = self._split_heads(self.q_proj(x), batch, seq)
         keys = self._split_heads(self.k_proj(x), batch, seq)
         values = self._split_heads(self.v_proj(x), batch, seq)
 
+        past = 0
+        if cache is not None:
+            past = cache.length
+            full_keys, full_values = cache.extend(keys.data, values.data)
+            if past > 0:
+                keys = Tensor(full_keys)
+                values = Tensor(full_values)
+        total = past + seq
+
         scale = 1.0 / np.sqrt(self.head_dim)
         scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
 
-        causal = F.attention_scores_mask(seq)  # (T, T), True above diagonal
-        mask = np.broadcast_to(causal, (batch, self.num_heads, seq, seq)).copy()
+        if attention_mask is None and seq == 1:
+            # Single-position incremental step without padding: the causal row
+            # hides nothing, so the mask (and its allocation) can be skipped.
+            weights = F.softmax(scores, axis=-1)
+            weights = self.attn_dropout(weights)
+            context = weights.matmul(values)
+            merged = self._merge_heads(context, batch, seq)
+            return self.o_proj(merged)
+
+        causal = F.attention_scores_mask(seq, past_len=past)  # (T, past + T)
+        mask = np.broadcast_to(causal, (batch, self.num_heads, seq, total)).copy()
         if attention_mask is not None:
             padding = ~np.asarray(attention_mask, dtype=bool)  # True = padding
+            if padding.shape[-1] != total:
+                raise ValueError(
+                    f"attention_mask covers {padding.shape[-1]} positions, "
+                    f"expected {total} (cached {past} + new {seq})"
+                )
             mask |= padding[:, None, None, :]
             # A fully masked row (query at a padding position) would make softmax
             # degenerate; allow self-attention on the diagonal to keep it finite.
-            diag = np.eye(seq, dtype=bool)[None, None, :, :]
+            diag = np.eye(seq, total, k=past, dtype=bool)[None, None, :, :]
             mask &= ~diag
 
         scores = scores.masked_fill(mask, -1e9)

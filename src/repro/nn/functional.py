@@ -142,9 +142,16 @@ def dropout(
     return Tensor._make(out_data, (x,), backward)
 
 
-def attention_scores_mask(seq_len: int) -> np.ndarray:
-    """Boolean causal mask (True above the diagonal = positions to hide)."""
-    return np.triu(np.ones((seq_len, seq_len), dtype=bool), k=1)
+def attention_scores_mask(seq_len: int, past_len: int = 0) -> np.ndarray:
+    """Boolean causal mask (True = positions to hide).
+
+    Without ``past_len`` this is the usual square upper-triangular mask.  With
+    ``past_len`` (KV-cached incremental decoding) the mask is rectangular,
+    shape ``(seq_len, past_len + seq_len)``: query row ``i`` sits at global
+    position ``past_len + i`` and may attend to every key at or before it.
+    """
+    total = past_len + seq_len
+    return np.triu(np.ones((seq_len, total), dtype=bool), k=past_len + 1)
 
 
 def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:

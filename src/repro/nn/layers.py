@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
 
 
@@ -139,6 +139,14 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Inference fast path: same arithmetic (x @ W^T + b) computed on
+            # the raw arrays, skipping the transpose/matmul/add op wrappers
+            # that would be discarded anyway.  `.T` is a view, not a copy.
+            data = x.data @ self.weight.data.T
+            if self.bias is not None:
+                data = data + self.bias.data
+            return Tensor(data)
         out = x.matmul(self.weight.transpose(1, 0))
         if self.bias is not None:
             out = out + self.bias

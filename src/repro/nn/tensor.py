@@ -13,13 +13,45 @@ layers above can be written naturally.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float32
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+# Global autograd switch.  When False (inside ``inference_mode()``) no
+# operation records a backward closure or parent tuple, so forward passes
+# allocate no tape at all — the fast path used by generation and evaluation.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextmanager
+def inference_mode() -> Iterator[None]:
+    """Context manager disabling all graph recording.
+
+    Inside the context every op produces plain ``requires_grad=False`` tensors
+    with no parents and no backward closure, regardless of the inputs'
+    ``requires_grad`` flags.  Forward values are computed with exactly the
+    same arithmetic, so results are numerically identical to the default
+    mode — only the tape (and its memory / closure overhead) is skipped.
+    Nesting is supported; the previous state is restored on exit.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
 
 
 def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
@@ -120,8 +152,12 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        """Create a result tensor wired into the graph if any parent needs grad."""
-        requires = any(parent.requires_grad for parent in parents)
+        """Create a result tensor wired into the graph if any parent needs grad.
+
+        Inside :func:`inference_mode` nothing is ever wired: the result is a
+        plain constant tensor and the backward closure is dropped.
+        """
+        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
@@ -322,7 +358,7 @@ class Tensor:
     def gelu(self) -> "Tensor":
         """GELU with the tanh approximation used by GPT-style models."""
         x = self.data
-        c = np.sqrt(2.0 / np.pi).astype(x.dtype)
+        c = _GELU_C  # sqrt(2/pi); a python float keeps the array dtype
         inner = c * (x + 0.044715 * x**3)
         t = np.tanh(inner)
         data = 0.5 * x * (1.0 + t)
@@ -407,7 +443,12 @@ class Tensor:
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         data = self.data.transpose(axes)
-        inverse = tuple(np.argsort(axes))
+        # Inverse permutation, computed without numpy (hot path: one call per
+        # transpose, and np.argsort on a tiny tuple costs more than the op).
+        inverse = [0] * len(axes)
+        for position, axis in enumerate(axes):
+            inverse[axis % self.data.ndim] = position
+        inverse = tuple(inverse)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

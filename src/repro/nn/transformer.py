@@ -16,11 +16,35 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.attention import LayerKVCache, MultiHeadSelfAttention
 from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, inference_mode
 from repro.utils.config import require_positive
 from repro.utils.rng import as_generator
+
+
+class KVCache:
+    """Per-layer key/value caches for incremental decoding.
+
+    One :class:`~repro.nn.attention.LayerKVCache` per decoder block; the
+    model-level ``length`` is the number of context positions already encoded.
+    The cache stores raw arrays (no autograd graph) and is intended for use
+    inside :func:`repro.nn.inference_mode`.
+    """
+
+    def __init__(self, num_layers: int) -> None:
+        require_positive("num_layers", num_layers)
+        self.layers = [LayerKVCache() for _ in range(num_layers)]
+
+    @property
+    def length(self) -> int:
+        """Number of cached context positions."""
+        return self.layers[0].length
+
+    def reset(self) -> None:
+        """Invalidate the cache (e.g. when the context window slides)."""
+        for layer in self.layers:
+            layer.reset()
 
 
 @dataclass
@@ -69,8 +93,13 @@ class TransformerBlock(Module):
             rng=rng,
         )
 
-    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attention(self.ln_attn(x), attention_mask=attention_mask)
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: Optional[np.ndarray] = None,
+        cache: Optional[LayerKVCache] = None,
+    ) -> Tensor:
+        x = x + self.attention(self.ln_attn(x), attention_mask=attention_mask, cache=cache)
         x = x + self.ffn(self.ln_ffn(x))
         return x
 
@@ -98,6 +127,8 @@ class TransformerLM(Module):
         token_ids: np.ndarray,
         attention_mask: Optional[np.ndarray] = None,
         return_hidden: bool = False,
+        kv_cache: Optional[KVCache] = None,
+        position_ids: Optional[np.ndarray] = None,
     ):
         """Compute next-token logits for a batch of token-id sequences.
 
@@ -106,26 +137,46 @@ class TransformerLM(Module):
         token_ids:
             Integer array of shape ``(batch, seq)``.
         attention_mask:
-            Optional boolean array of shape ``(batch, seq)``; ``False`` marks
-            padding positions.
+            Optional boolean array; ``False`` marks padding positions.  Shape
+            ``(batch, seq)`` without a cache, ``(batch, past + seq)`` with one.
         return_hidden:
             When True, also return the final-LayerNorm hidden states
             ``(batch, seq, dim)`` — the "last hidden layer" the paper uses as
             the text-embedding function.
+        kv_cache:
+            Optional :class:`KVCache` for incremental decoding.  ``token_ids``
+            then holds only the positions not yet encoded; their keys/values
+            are appended to the cache and positions continue from its length.
+        position_ids:
+            Optional explicit positions of shape ``(batch, seq)``, used by
+            left-padded batched decoding where each row starts at its own
+            offset.  Defaults to ``past + arange(seq)``.
         """
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim != 2:
             raise ValueError(f"token_ids must be 2-D (batch, seq), got shape {token_ids.shape}")
         batch, seq = token_ids.shape
-        if seq > self.config.max_seq_len:
+        past = kv_cache.length if kv_cache is not None else 0
+        if past + seq > self.config.max_seq_len:
             raise ValueError(
-                f"sequence length {seq} exceeds max_seq_len {self.config.max_seq_len}"
+                f"sequence length {past + seq} (cached {past} + new {seq}) "
+                f"exceeds max_seq_len {self.config.max_seq_len}"
             )
-        positions = np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq))
+        if position_ids is not None:
+            positions = np.asarray(position_ids, dtype=np.int64)
+            if positions.shape != (batch, seq):
+                raise ValueError(
+                    f"position_ids shape {positions.shape} does not match tokens {(batch, seq)}"
+                )
+        else:
+            positions = np.broadcast_to(
+                np.arange(past, past + seq, dtype=np.int64), (batch, seq)
+            )
         hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
         hidden = self.embedding_dropout(hidden)
-        for block in self.blocks:
-            hidden = block(hidden, attention_mask=attention_mask)
+        for index, block in enumerate(self.blocks):
+            layer_cache = kv_cache.layers[index] if kv_cache is not None else None
+            hidden = block(hidden, attention_mask=attention_mask, cache=layer_cache)
         hidden = self.ln_final(hidden)
 
         if self.lm_head is not None:
@@ -141,13 +192,25 @@ class TransformerLM(Module):
     def hidden_states(
         self, token_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Last-hidden-layer states as a plain array (no graph kept)."""
+        """Last-hidden-layer states as a plain array (no graph kept).
+
+        Runs inside :func:`repro.nn.inference_mode`, so the forward records no
+        autograd tape at all — this is the hot path of the embedding-based
+        quality metrics.
+        """
         was_training = self.training
         self.eval()
-        _, hidden = self.forward(token_ids, attention_mask=attention_mask, return_hidden=True)
+        with inference_mode():
+            _, hidden = self.forward(
+                token_ids, attention_mask=attention_mask, return_hidden=True
+            )
         if was_training:
             self.train()
         return hidden.data
+
+    def new_kv_cache(self) -> KVCache:
+        """A fresh, empty decoding cache sized for this model."""
+        return KVCache(self.config.num_layers)
 
     def attention_blocks(self) -> List[TransformerBlock]:
         """The list of decoder blocks (used by the LoRA injection helpers)."""

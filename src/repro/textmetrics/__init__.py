@@ -8,6 +8,7 @@ from repro.textmetrics.entropy import (
     token_frequency_entropy,
 )
 from repro.textmetrics.rouge import (
+    Rouge1Reference,
     RougeScore,
     corpus_rouge_1,
     rouge_1,
@@ -26,6 +27,7 @@ from repro.textmetrics.similarity import (
 )
 
 __all__ = [
+    "Rouge1Reference",
     "RougeScore",
     "corpus_rouge_1",
     "cosine_dissimilarity",

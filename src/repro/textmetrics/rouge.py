@@ -94,13 +94,54 @@ def rouge_1_f1(candidate: str, reference: str) -> float:
     return rouge_1(candidate, reference).f1
 
 
+class Rouge1Reference:
+    """A reference string pre-tokenized for repeated ROUGE-1 comparisons.
+
+    The reference side (tokenization + unigram ``Counter``) is built once, so
+    scoring many candidates against the same reference — the data-synthesis
+    sanity check, cached corpus scoring — only pays for the candidate side.
+    Scores are identical to :func:`rouge_1_f1`.
+    """
+
+    __slots__ = ("text", "_counts", "_total")
+
+    def __init__(self, reference: str) -> None:
+        self.text = reference
+        tokens = split_words(reference)
+        self._counts = Counter(tokens)
+        self._total = len(tokens)
+
+    def score(self, candidate: str) -> RougeScore:
+        """ROUGE-1 of ``candidate`` against the precomputed reference."""
+        candidate_counts = Counter(split_words(candidate))
+        overlap = sum((candidate_counts & self._counts).values())
+        return RougeScore.from_counts(
+            overlap, sum(candidate_counts.values()), self._total
+        )
+
+    def f1(self, candidate: str) -> float:
+        """ROUGE-1 F1 against the precomputed reference."""
+        return self.score(candidate).f1
+
+
 def corpus_rouge_1(candidates: Sequence[str], references: Sequence[str]) -> float:
-    """Mean ROUGE-1 F1 over aligned candidate/reference lists."""
+    """Mean ROUGE-1 F1 over aligned candidate/reference lists.
+
+    Each distinct reference is tokenized and counted once per call (corpora
+    that score many candidates against repeated references — e.g. synthesis
+    attempts — pay for the reference side only once).
+    """
     if len(candidates) != len(references):
         raise ValueError(
             f"candidates ({len(candidates)}) and references ({len(references)}) must align"
         )
     if not candidates:
         return 0.0
-    scores: List[float] = [rouge_1_f1(c, r) for c, r in zip(candidates, references)]
+    prepared: dict = {}
+    scores: List[float] = []
+    for candidate, reference in zip(candidates, references):
+        cached = prepared.get(reference)
+        if cached is None:
+            cached = prepared.setdefault(reference, Rouge1Reference(reference))
+        scores.append(cached.f1(candidate))
     return sum(scores) / len(scores)

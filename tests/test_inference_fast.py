@@ -1,0 +1,430 @@
+"""The fast inference path: inference mode, KV-cached decoding, batching.
+
+These are the exact-equivalence suites the fast path is contractually held
+to: incremental KV-cached decoding must reproduce the full-context forward
+(including across the ``max_seq_len`` truncation boundary, where the sliding
+window shifts every absolute position and the cache must be invalidated),
+``inference_mode`` must change only the tape, never the numbers, and batched
+decoding must reproduce per-sequence decoding row by row.
+"""
+
+import numpy as np
+import pytest
+
+from repro.llm.generation import (
+    GenerationConfig,
+    apply_repetition_penalty,
+    generate_tokens,
+    generate_tokens_batch,
+)
+from repro.nn import KVCache, Tensor, inference_mode, is_grad_enabled
+from repro.nn.functional import attention_scores_mask
+from repro.textmetrics.rouge import Rouge1Reference, rouge_1_f1
+
+
+class TestInferenceMode:
+    def test_forward_values_identical(self, pretrained_llm):
+        token_ids = np.arange(1, 13, dtype=np.int64)[None, :]
+        model = pretrained_llm.model
+        model.eval()
+        default_logits = model(token_ids)
+        with inference_mode():
+            fast_logits = model(token_ids)
+        np.testing.assert_array_equal(default_logits.data, fast_logits.data)
+
+    def test_no_tape_recorded(self, pretrained_llm):
+        token_ids = np.arange(1, 9, dtype=np.int64)[None, :]
+        model = pretrained_llm.model
+        model.eval()
+        with inference_mode():
+            logits = model(token_ids)
+        assert not logits.requires_grad
+        assert logits._parents == ()
+        assert logits._backward is None
+        with pytest.raises(RuntimeError):
+            logits.sum().backward()
+
+    def test_flag_restored_even_on_error(self):
+        assert is_grad_enabled()
+        with pytest.raises(ValueError):
+            with inference_mode():
+                assert not is_grad_enabled()
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_nesting(self):
+        with inference_mode():
+            with inference_mode():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_gradients_unaffected_outside(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with inference_mode():
+            (x * 2.0).sum()  # recorded nothing
+        loss = (x * 3.0).sum()
+        loss.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 3.0))
+
+
+class TestCausalMask:
+    def test_square_mask_unchanged(self):
+        mask = attention_scores_mask(4)
+        expected = np.triu(np.ones((4, 4), dtype=bool), k=1)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_rectangular_mask_for_cached_decoding(self):
+        mask = attention_scores_mask(2, past_len=3)
+        assert mask.shape == (2, 5)
+        # Query 0 sits at global position 3: sees keys 0..3, hides key 4.
+        np.testing.assert_array_equal(mask[0], [False, False, False, False, True])
+        np.testing.assert_array_equal(mask[1], [False, False, False, False, False])
+
+
+class TestKVCachedEquivalence:
+    def _full_forward_logits(self, model, ids):
+        with inference_mode():
+            return model(np.asarray(ids, dtype=np.int64)[None, :]).data[0, -1]
+
+    def test_incremental_logits_match_full_forward(self, pretrained_llm):
+        """Per-step logits from the cached path equal the full re-forward."""
+        model = pretrained_llm.model
+        model.eval()
+        ids = list(range(1, 11))
+        cache = KVCache(model.config.num_layers)
+        with inference_mode():
+            primed = model(np.asarray(ids[:4], dtype=np.int64)[None, :], kv_cache=cache)
+            np.testing.assert_allclose(
+                primed.data[0, -1], self._full_forward_logits(model, ids[:4]), atol=1e-5
+            )
+            for position in range(4, len(ids)):
+                step = model(
+                    np.asarray([ids[position]], dtype=np.int64)[None, :], kv_cache=cache
+                )
+                np.testing.assert_allclose(
+                    step.data[0, -1],
+                    self._full_forward_logits(model, ids[: position + 1]),
+                    atol=1e-5,
+                )
+        assert cache.length == len(ids)
+
+    def test_greedy_decode_identical_within_window(self, pretrained_llm):
+        prompt = pretrained_llm.tokenizer.encode(
+            "what should i know about dose and vial", add_bos=True, add_eos=False
+        )
+        config = GenerationConfig(max_new_tokens=16, greedy=True)
+        reference = generate_tokens(pretrained_llm.model, prompt, config, use_cache=False)
+        cached = generate_tokens(pretrained_llm.model, prompt, config, use_cache=True)
+        assert cached == reference
+
+    def test_greedy_decode_identical_across_truncation_boundary(self, pretrained_llm):
+        """The window slides past max_seq_len; the cache must be rebuilt.
+
+        64 context tokens + 80 new tokens forces dozens of slid-window steps,
+        each of which invalidates the cache (absolute positions shifted), so
+        any stale reuse would diverge from the full-forward reference.
+        """
+        max_context = pretrained_llm.config.max_seq_len
+        prompt = pretrained_llm.tokenizer.encode(
+            "what should i know about dose and vial", add_bos=True, add_eos=False
+        )
+        config = GenerationConfig(max_new_tokens=max_context + 16, greedy=True)
+        reference = generate_tokens(pretrained_llm.model, prompt, config, use_cache=False)
+        cached = generate_tokens(pretrained_llm.model, prompt, config, use_cache=True)
+        assert len(reference) == max_context + 16  # actually crossed the boundary
+        assert cached == reference
+
+    def test_sampled_decode_identical_with_same_seed(self, pretrained_llm):
+        prompt = pretrained_llm.tokenizer.encode(
+            "my chest hurts and i feel dizzy", add_bos=True, add_eos=False
+        )
+        config = GenerationConfig(
+            max_new_tokens=80, temperature=0.5, repetition_penalty=1.3,
+            stop_token_id=pretrained_llm.tokenizer.vocabulary.eos_id,
+        )
+        reference = generate_tokens(
+            pretrained_llm.model, prompt, config,
+            rng=np.random.default_rng(7), use_cache=False,
+        )
+        cached = generate_tokens(
+            pretrained_llm.model, prompt, config,
+            rng=np.random.default_rng(7), use_cache=True,
+        )
+        assert cached == reference
+
+    def test_long_prompt_left_truncated(self, pretrained_llm):
+        max_context = pretrained_llm.config.max_seq_len
+        prompt = list(range(1, max_context + 20))
+        config = GenerationConfig(max_new_tokens=4, greedy=True)
+        reference = generate_tokens(pretrained_llm.model, prompt, config, use_cache=False)
+        cached = generate_tokens(pretrained_llm.model, prompt, config, use_cache=True)
+        assert cached == reference
+
+    def test_cache_overflow_raises(self, pretrained_llm):
+        model = pretrained_llm.model
+        max_context = model.config.max_seq_len
+        cache = KVCache(model.config.num_layers)
+        with inference_mode():
+            model(np.ones((1, max_context), dtype=np.int64), kv_cache=cache)
+            with pytest.raises(ValueError):
+                model(np.ones((1, 1), dtype=np.int64), kv_cache=cache)
+
+    def test_kv_cache_reset(self, pretrained_llm):
+        model = pretrained_llm.model
+        cache = KVCache(model.config.num_layers)
+        with inference_mode():
+            model(np.ones((1, 5), dtype=np.int64), kv_cache=cache)
+        assert cache.length == 5
+        cache.reset()
+        assert cache.length == 0
+
+
+class TestBatchedDecoding:
+    def test_rows_match_single_sequence_greedy(self, pretrained_llm):
+        questions = [
+            "what should i know about dose and vial",
+            "my chest hurts and i feel dizzy",
+            "tell me about the refill",
+        ]
+        config = GenerationConfig(
+            max_new_tokens=24, greedy=True,
+            stop_token_id=pretrained_llm.tokenizer.vocabulary.eos_id,
+        )
+        prompts = [pretrained_llm._prompt_ids_for_question(q) for q in questions]
+        singles = [
+            generate_tokens(pretrained_llm.model, prompt, config) for prompt in prompts
+        ]
+        batched = generate_tokens_batch(
+            pretrained_llm.model, prompts, config,
+            pad_token_id=pretrained_llm.tokenizer.vocabulary.pad_id,
+        )
+        assert batched == singles
+
+    def test_per_sequence_stop_handling(self, pretrained_llm):
+        model = pretrained_llm.model
+        config = GenerationConfig(max_new_tokens=12, greedy=True, stop_token_id=None)
+        prompts = [[1, 2, 3], [4, 5], [6]]
+        outputs = generate_tokens_batch(model, prompts, config, pad_token_id=0)
+        assert len(outputs) == 3
+        # Without a stop token every row decodes to the full budget.
+        assert all(len(row) == 12 for row in outputs)
+        # With a stop token, each row ends at (and includes) its first stop.
+        greedy_first = [row[0] for row in outputs]
+        stop = greedy_first[0]
+        config_stop = GenerationConfig(max_new_tokens=12, greedy=True, stop_token_id=stop)
+        stopped = generate_tokens_batch(model, prompts, config_stop, pad_token_id=0)
+        for row in stopped:
+            if stop in row:
+                assert row.index(stop) == len(row) - 1
+            else:
+                assert len(row) == 12
+
+    def test_crosses_truncation_boundary(self, pretrained_llm):
+        max_context = pretrained_llm.config.max_seq_len
+        config = GenerationConfig(max_new_tokens=max_context + 8, greedy=True)
+        prompts = [[1, 2, 3, 4], [5, 6]]
+        singles = [
+            generate_tokens(pretrained_llm.model, prompt, config) for prompt in prompts
+        ]
+        batched = generate_tokens_batch(pretrained_llm.model, prompts, config, pad_token_id=0)
+        assert batched == singles
+
+    def test_empty_batch_and_empty_prompt(self, pretrained_llm):
+        config = GenerationConfig(max_new_tokens=4)
+        assert generate_tokens_batch(pretrained_llm.model, [], config) == []
+        with pytest.raises(ValueError):
+            generate_tokens_batch(pretrained_llm.model, [[1], []], config)
+
+    def test_respond_batch_matches_respond_greedy(self, pretrained_llm):
+        questions = ["what about the dose", "my knee aches"]
+        config = GenerationConfig(
+            max_new_tokens=12, greedy=True,
+            stop_token_id=pretrained_llm.tokenizer.vocabulary.eos_id,
+        )
+        singles = [pretrained_llm.respond(q, generation=config) for q in questions]
+        batched = pretrained_llm.respond_batch(questions, generation=config)
+        assert batched == singles
+
+
+class TestBatchedEvaluator:
+    def test_batched_equals_sequential_greedy(self, pretrained_llm, med_corpus):
+        from repro.eval.rouge_eval import EvaluationConfig, ResponseEvaluator
+
+        dialogues = med_corpus.dialogues()[40:52]
+        sequential = ResponseEvaluator(
+            dialogues,
+            EvaluationConfig(subset_size=6, max_new_tokens=12, greedy=True,
+                             seed=0, batch_size=None),
+        )
+        batched = ResponseEvaluator(
+            dialogues,
+            EvaluationConfig(subset_size=6, max_new_tokens=12, greedy=True,
+                             seed=0, batch_size=4),
+        )
+        seq_report = sequential.evaluate(pretrained_llm)
+        batch_report = batched.evaluate(pretrained_llm)
+        assert batch_report.scores == pytest.approx(seq_report.scores)
+
+    def test_learning_curve_records_eval_seconds(self):
+        from repro.core.framework import LearningCurvePoint, PersonalizationResult
+        from repro.eval.learning_curve import LearningCurve
+
+        result = PersonalizationResult(selector_name="ours")
+        result.learning_curve = [
+            LearningCurvePoint(seen=0, rouge_1=0.1, finetune_round=0, eval_seconds=0.5),
+            LearningCurvePoint(seen=8, rouge_1=0.2, finetune_round=1, eval_seconds=0.25),
+        ]
+        curve = LearningCurve.from_result(result)
+        assert curve.eval_seconds() == [0.5, 0.25]
+        assert curve.total_eval_seconds() == pytest.approx(0.75)
+        assert curve.to_dict()["eval_seconds"] == [0.5, 0.25]
+
+
+class TestVectorizedRepetitionPenalty:
+    def _reference(self, logits, previous_ids, penalty):
+        if penalty == 1.0 or not previous_ids:
+            return logits
+        adjusted = logits.copy()
+        for token_id in set(int(t) for t in previous_ids):
+            if adjusted[token_id] > 0:
+                adjusted[token_id] /= penalty
+            else:
+                adjusted[token_id] *= penalty
+        return adjusted
+
+    def test_matches_reference_loop(self, rng):
+        logits = rng.standard_normal(50)
+        previous = [3, 7, 7, 12, 3, 49]
+        fast = apply_repetition_penalty(logits, previous, 1.3)
+        np.testing.assert_allclose(fast, self._reference(logits, previous, 1.3))
+
+    def test_noop_cases(self, rng):
+        logits = rng.standard_normal(10)
+        assert apply_repetition_penalty(logits, [1, 2], 1.0) is logits
+        assert apply_repetition_penalty(logits, [], 1.5) is logits
+
+    def test_accepts_numpy_previous_ids(self, rng):
+        logits = rng.standard_normal(20)
+        previous = np.asarray([4, 4, 9], dtype=np.int64)
+        fast = apply_repetition_penalty(logits, previous, 2.0)
+        np.testing.assert_allclose(fast, self._reference(logits, [4, 9], 2.0))
+
+
+class TestRouge1Reference:
+    def test_matches_pairwise_rouge(self):
+        reference = "the quick brown fox jumps over the lazy dog"
+        cached = Rouge1Reference(reference)
+        for candidate in (
+            "the quick brown fox", "a completely different sentence", "", reference,
+        ):
+            assert cached.f1(candidate) == pytest.approx(rouge_1_f1(candidate, reference))
+
+    def test_corpus_rouge_matches_mean_of_pairs(self):
+        from repro.textmetrics.rouge import corpus_rouge_1
+
+        candidates = ["the cat sat", "dogs bark loudly", ""]
+        references = ["the cat sat on the mat", "dogs bark", "something"]
+        expected = sum(rouge_1_f1(c, r) for c, r in zip(candidates, references)) / 3
+        assert corpus_rouge_1(candidates, references) == pytest.approx(expected)
+
+
+class TestScorerCaches:
+    def test_lexicon_profile_matches_uncached_metrics(self, untrained_llm, lexicons):
+        from repro.core.metrics import QualityScorer, domain_specific_score, dominant_domain
+
+        scorer = QualityScorer(untrained_llm, lexicons)
+        text = "please tell me about the dose and vial for my chest"
+        num_tokens, counts, dominant = scorer.lexicon_profile(text)
+        assert dominant == dominant_domain(text, lexicons)
+        assert counts == lexicons.overlap_counts(text)
+        scores = scorer.score(text, [])
+        assert scores.dss == pytest.approx(domain_specific_score(text, lexicons))
+        # Second call is served from cache and stays identical.
+        assert scorer.lexicon_profile(text) == (num_tokens, counts, dominant)
+
+    def test_embedding_cache_hit_and_invalidation(self, untrained_llm, lexicons):
+        from repro.core.metrics import QualityScorer
+
+        scorer = QualityScorer(untrained_llm, lexicons)
+        text = "a dose of medicine"
+        first = scorer.embed(text)
+        assert scorer.embed(text) is first  # cache hit returns the same array
+        scorer.invalidate_embeddings()
+        second = scorer.embed(text)
+        assert second is not first
+        np.testing.assert_allclose(first, second)
+
+    def test_cache_is_bounded(self, untrained_llm, lexicons):
+        from repro.core.metrics import QualityScorer
+
+        scorer = QualityScorer(untrained_llm, lexicons, cache_size=2)
+        for index in range(4):
+            scorer.lexicon_profile(f"text number {index}")
+        assert len(scorer._profile_cache) == 2
+
+
+class TestBufferCachedViews:
+    def _entry(self, text, domain, value):
+        from repro.core.buffer import BufferEntry
+        from repro.data.dialogue import DialogueSet
+
+        return BufferEntry(
+            dialogue=DialogueSet(question=text, response="r"),
+            embedding=np.full(4, float(value)),
+            dominant_domain=domain,
+        )
+
+    def test_stacked_embeddings_cached_and_invalidated(self):
+        from repro.core.buffer import DataBuffer
+
+        buffer = DataBuffer(num_bins=3)
+        buffer.add(self._entry("a", "x", 1.0))
+        first = buffer.embeddings()
+        assert buffer.embeddings() is first  # cached between mutations
+        buffer.add(self._entry("b", "y", 2.0))
+        second = buffer.embeddings()
+        assert second is not first
+        assert second.shape == (2, 4)
+        buffer.replace(0, self._entry("c", "y", 3.0))
+        third = buffer.embeddings()
+        np.testing.assert_allclose(third[0], np.full(4, 3.0))
+
+    def test_domain_index_tracks_mutations(self):
+        from repro.core.buffer import DataBuffer
+
+        buffer = DataBuffer(num_bins=3)
+        buffer.add(self._entry("a", "x", 1.0))
+        buffer.add(self._entry("b", "y", 2.0))
+        assert len(buffer.entries_in_domain("x")) == 1
+        assert len(buffer.entries_in_domain("y")) == 1
+        buffer.replace(0, self._entry("c", "y", 3.0))
+        assert buffer.entries_in_domain("x") == []
+        assert len(buffer.entries_in_domain("y")) == 2
+        assert [embedding[0] for embedding in buffer.embeddings_in_domain("y")] == [3.0, 2.0]
+
+
+class TestVectorizedCollate:
+    def test_matches_per_row_fill(self, untrained_llm):
+        from repro.llm.finetune import IGNORE_INDEX, collate_batch
+
+        examples = [
+            ([1, 2, 3, 4], [2, 3, 4, IGNORE_INDEX]),
+            ([5, 6], [6, IGNORE_INDEX]),
+            ([7, 8, 9], [8, 9, IGNORE_INDEX]),
+        ]
+        batch, labels, mask = collate_batch(untrained_llm, examples)
+        pad = untrained_llm.tokenizer.vocabulary.pad_id
+        expected_batch = np.array([[1, 2, 3, 4], [5, 6, pad, pad], [7, 8, 9, pad]])
+        expected_labels = np.array([
+            [2, 3, 4, IGNORE_INDEX],
+            [6, IGNORE_INDEX, IGNORE_INDEX, IGNORE_INDEX],
+            [8, 9, IGNORE_INDEX, IGNORE_INDEX],
+        ])
+        np.testing.assert_array_equal(batch, expected_batch)
+        np.testing.assert_array_equal(labels, expected_labels)
+        np.testing.assert_array_equal(mask, np.array([
+            [True, True, True, True],
+            [True, True, False, False],
+            [True, True, True, False],
+        ]))
