@@ -7,29 +7,33 @@ selection policy (Random Replace, FIFO Replace, K-Center, and the proposed
 quality-score selection), and the resulting ROUGE-1 learning curves are
 printed side by side.
 
-Run with ``python examples/compare_selection_policies.py``.
+The heavy lifting — environment preparation and the per-method runs from
+identical base weights — is the experiment runner API; the equivalent full
+experiment is ``python -m repro run figure2 --scale smoke --datasets
+empathetic``.
+
+Run with ``PYTHONPATH=src python examples/compare_selection_policies.py``.
 """
 
 from repro.eval.learning_curve import LearningCurve, format_learning_curves, rank_methods
-from repro.experiments import prepare_environment, run_method, smoke_scale
+from repro.experiments import prepare_environment, run_method_comparison, smoke_scale
 
 
 def main() -> None:
-    scale = smoke_scale()
     print("preparing the empathetic-dialog analogue environment ...")
-    env = prepare_environment("empathetic", scale=scale, seed=0)
+    env = prepare_environment("empathetic", scale=smoke_scale(), seed=0)
     print(
         f"stream: {len(env.stream_corpus)} dialogue sets "
         f"(substantive + interaction noise), eval: {len(env.eval_corpus)}"
     )
 
-    curves = []
-    for method in ("random", "fifo", "kcenter", "ours"):
-        print(f"running selection policy: {method}")
-        result = run_method(env, method)
-        curves.append(LearningCurve.from_result(result))
+    methods = ("random", "fifo", "kcenter", "ours")
+    comparison = run_method_comparison(env, methods=methods)
+    curves = [LearningCurve.from_result(comparison[method]) for method in methods]
+    for method in methods:
+        result = comparison[method]
         print(
-            f"  final ROUGE-1 {result.final_rouge:.4f} | "
+            f"{method:10s} final ROUGE-1 {result.final_rouge:.4f} | "
             f"buffer domains {result.buffer_domain_histogram} | "
             f"acceptance rate {result.acceptance_rate:.2f}"
         )

@@ -1,63 +1,56 @@
 """Quickstart: personalize an on-device LLM from a simulated user stream.
 
-This walks through the whole pipeline on a small MedDialog-style scenario:
+This walks through the whole pipeline on a small MedDialog-style scenario,
+using the experiment runner API (the same machinery behind ``repro run``):
 
-1. build a synthetic corpus (the dataset analogue) and split it into the
-   streamed part and the held-out evaluation part;
-2. pre-train a small generic on-device LLM (the "deployed" model);
-3. run the personalization framework (self-supervised selection into a small
-   buffer, sparse annotation, data synthesis, LoRA fine-tuning);
-4. report the learning curve and the buffer contents.
+1. :func:`repro.experiments.prepare_environment` builds the synthetic corpus,
+   splits it into the noisy streamed part and the held-out evaluation part,
+   and pre-trains the generic on-device model — no hand-rolled setup code;
+2. the personalization framework runs the staged pipeline engine (selection →
+   annotation → synthesis → LoRA fine-tuning) over the stream, checkpointing
+   its full state after every fine-tuning round;
+3. the learning curve, buffer contents and a personalized answer are printed.
 
-Run with ``python examples/quickstart.py``.  Takes well under a minute on CPU.
+Run with ``PYTHONPATH=src python examples/quickstart.py``.  Takes well under
+a minute on CPU.  For the full reproduced figures/tables use the unified
+CLI, e.g. ``python -m repro run figure2 --scale smoke``.
 """
 
-from repro.core import FrameworkConfig, PersonalizationFramework, SynthesisConfig
-from repro.data import DialogueCorpus, DialogueStream, StreamConfig, builtin_lexicons, make_generator
-from repro.eval import EvaluationConfig, ResponseEvaluator
-from repro.llm import FineTuneConfig, OnDeviceLLMConfig, PretrainConfig, build_pretrained_llm
+import tempfile
+
+from repro.core import PersonalizationFramework
+from repro.experiments import framework_config_for, prepare_environment, smoke_scale
 
 
 def main() -> None:
-    lexicons = builtin_lexicons()
-
-    # 1. Data: a MedDialog-like corpus; 30% is streamed (with interaction
-    #    noise), the rest is the held-out evaluation set.
-    generator = make_generator("meddialog", size=120, seed=0, lexicons=lexicons)
-    corpus = generator.generate()
-    stream_split, eval_split = corpus.split(0.3, rng=1)
-    noisy_stream = generator.make_interaction_stream(
-        stream_split.dialogues(), filler_rate=0.25, thin_rate=0.25, rng=2
-    )
-    stream = DialogueStream(
-        DialogueCorpus(noisy_stream, name="user-interaction"),
-        StreamConfig(finetune_interval=14),
-    )
-    print(f"streaming {len(stream)} dialogue sets, evaluating on {len(eval_split)}")
-
-    # 2. The deployed generic model (pre-trained, but knows nothing about this
-    #    user's preferred style).
-    llm = build_pretrained_llm(
-        corpus,
-        llm_config=OnDeviceLLMConfig(dim=32, num_layers=2, num_heads=2, max_seq_len=64),
-        pretrain_config=PretrainConfig(epochs=20, seed=0),
+    # 1. Data, splits, interaction noise and the pre-trained base model all
+    #    come from one call; the smoke preset keeps everything seconds-scale.
+    scale = smoke_scale()
+    env = prepare_environment("meddialog", scale=scale, seed=0)
+    print(
+        f"streaming {len(env.stream_corpus)} dialogue sets, "
+        f"evaluating on {len(env.eval_corpus)}"
     )
 
-    # 3. The personalization framework with the paper's selection policy.
-    config = FrameworkConfig(
-        buffer_bins=8,
-        finetune_interval=14,
-        selector="ours",
-        synthesis=SynthesisConfig(num_per_item=3),
-        finetune=FineTuneConfig(epochs=10, batch_size=8, learning_rate=1e-2),
+    # 2. The framework with the paper's selection policy, driven through the
+    #    pipeline engine with per-round full-state checkpoints: kill the
+    #    process mid-run and `framework.run(..., resume_from=checkpoint_dir)`
+    #    continues bit-identically.
+    llm = env.base_llm.clone()
+    framework = PersonalizationFramework(
+        llm, config=framework_config_for(scale, "ours"), lexicons=env.lexicons
     )
-    framework = PersonalizationFramework(llm, config=config, lexicons=lexicons)
-    evaluator = ResponseEvaluator.from_corpus(
-        eval_split, EvaluationConfig(subset_size=24, greedy=True, max_new_tokens=22)
-    )
-    result = framework.run(stream, evaluator=evaluator)
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as checkpoint_dir:
+        result = framework.run(
+            env.make_stream(), evaluator=env.evaluator, checkpoint_dir=checkpoint_dir
+        )
+        print(
+            "checkpoints were written after every round to a temporary "
+            "directory (deleted on exit — pass a persistent checkpoint_dir "
+            "to keep them and resume later)"
+        )
 
-    # 4. Report.
+    # 3. Report.
     print("\nlearning curve (seen dialogue sets -> ROUGE-1):")
     for point in result.learning_curve:
         print(f"  {point.seen:4d}  {point.rouge_1:.4f}")
@@ -67,7 +60,7 @@ def main() -> None:
     print(f"synthesized dialogue sets: {result.synthesized_total}")
     print(f"buffer domains: {result.buffer_domain_histogram}")
 
-    question = eval_split[0].question
+    question = env.eval_corpus[0].question
     print(f"\nsample question: {question}")
     print(f"personalized answer: {llm.respond(question)}")
 

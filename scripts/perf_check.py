@@ -15,6 +15,9 @@ Usage::
 intentional perf change, on the machine that produces the committed numbers).
 Absolute throughput is machine-dependent; the committed baseline should be
 refreshed whenever the reference machine changes.
+
+Exit codes: 0 pass, 1 throughput regression, 2 bad arguments (argparse),
+3 baseline file missing, 4 baseline file malformed.
 """
 
 from __future__ import annotations
@@ -31,6 +34,48 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_generation_baseline.json"
 
 PATHS_CHECKED = ("full_forward", "kv_cached", "batched")
+
+EXIT_REGRESSION = 1
+# 2 is argparse's exit code for bad arguments; keep the new codes distinct.
+EXIT_BASELINE_MISSING = 3
+EXIT_BASELINE_MALFORMED = 4
+
+
+class BaselineError(ValueError):
+    """The committed baseline file cannot be used."""
+
+
+def load_baseline(path: Path) -> dict:
+    """The ``tokens_per_sec`` mapping from the committed baseline.
+
+    Raises :class:`FileNotFoundError` when the file is absent and
+    :class:`BaselineError` (with a human-readable reason) when its content
+    cannot be interpreted, so the caller can report each case distinctly
+    instead of surfacing a traceback.
+    """
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"not valid JSON ({error})") from error
+    if not isinstance(payload, dict) or "tokens_per_sec" not in payload:
+        raise BaselineError("missing the 'tokens_per_sec' object")
+    baseline = payload["tokens_per_sec"]
+    if not isinstance(baseline, dict):
+        raise BaselineError("'tokens_per_sec' is not an object")
+    for decode_path in PATHS_CHECKED:
+        if decode_path not in baseline:
+            raise BaselineError(f"'tokens_per_sec' lacks the {decode_path!r} entry")
+        try:
+            value = float(baseline[decode_path])
+        except (TypeError, ValueError):
+            raise BaselineError(
+                f"'tokens_per_sec.{decode_path}' is not a number "
+                f"({baseline[decode_path]!r})"
+            ) from None
+        if value <= 0.0:
+            raise BaselineError(f"'tokens_per_sec.{decode_path}' must be positive, got {value}")
+    return baseline
 
 
 def main() -> int:
@@ -51,18 +96,40 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    # Validate the baseline *before* spending a minute on the benchmark, and
+    # report each failure mode distinctly instead of a traceback.
+    baseline = None
+    if not args.update:
+        try:
+            baseline = load_baseline(BASELINE_PATH)
+        except FileNotFoundError:
+            print(
+                f"ERROR: baseline file missing: {BASELINE_PATH}\n"
+                "Run `python scripts/perf_check.py --update` on the reference "
+                "machine to create it.",
+                file=sys.stderr,
+            )
+            return EXIT_BASELINE_MISSING
+        except BaselineError as error:
+            print(
+                f"ERROR: baseline file malformed: {BASELINE_PATH}: {error}\n"
+                "Restore the committed file or regenerate it with "
+                "`python scripts/perf_check.py --update`.",
+                file=sys.stderr,
+            )
+            return EXIT_BASELINE_MALFORMED
+
     from bench_generation import run_benchmark
 
     summary = run_benchmark()
     current = summary["tokens_per_sec"]
     print("measured tokens/sec:", json.dumps(current))
 
-    if args.update or not BASELINE_PATH.exists():
+    if args.update:
         BASELINE_PATH.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
-    baseline = json.loads(BASELINE_PATH.read_text())["tokens_per_sec"]
     print("baseline tokens/sec:", json.dumps(baseline))
 
     failures = []
@@ -88,7 +155,7 @@ def main() -> int:
 
     if failures:
         print(f"FAIL: decode throughput regressed: {', '.join(failures)}")
-        return 1
+        return EXIT_REGRESSION
     print("PASS: decode throughput within tolerance")
     return 0
 

@@ -1,4 +1,26 @@
-"""Setup shim for environments without PEP 660 editable-install support."""
-from setuptools import setup
+"""Packaging for the reproduction (works without PEP 660 editable support).
 
-setup()
+``pip install -e .`` exposes the library as ``repro`` and installs the
+``repro`` console script (the unified experiment runner CLI, also reachable
+as ``python -m repro`` from a source checkout with ``PYTHONPATH=src``).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-ondevice-personalization",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Enabling On-Device Large Language Model "
+        "Personalization with Self-Supervised Data Selection and Synthesis' "
+        "(DAC 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

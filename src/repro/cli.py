@@ -1,0 +1,211 @@
+"""The unified experiment runner CLI.
+
+One entrypoint drives every registered experiment through the pipeline
+engine, with JSON artifacts and full-state checkpoints per run::
+
+    repro run figure2 --scale smoke --out runs/fig2-smoke
+    repro run table3 --scale smoke --dataset meddialog --bins 2,4,8
+    repro list
+
+Also reachable as ``python -m repro ...`` and ``python -m repro.experiments
+...`` (the module form works straight from a source checkout with
+``PYTHONPATH=src``; the ``repro`` console script is installed by
+``pip install -e .``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.presets import ExperimentScale  # noqa: F401  (docs/type reference)
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    run_experiment,
+)
+from repro.utils.logging import enable_console_logging
+
+
+def _csv_strings(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _csv_ints(text: str) -> List[int]:
+    try:
+        return [int(item) for item in _csv_strings(text)]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers: {error}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unified runner for the paper-reproduction experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    run = subparsers.add_parser(
+        "run",
+        help="run one registered experiment and write its artifacts",
+        description=(
+            "Run one experiment (figure2/figure3/table2/table3/table4) at the "
+            "chosen scale; writes result.json, run.json and per-run engine "
+            "checkpoints under --out."
+        ),
+    )
+    run.add_argument("experiment", help="registered experiment name (see `repro list`)")
+    run.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset: smoke / small / paper (default: $REPRO_SCALE or small)",
+    )
+    run.add_argument("--seed", type=int, default=0, help="experiment seed (default 0)")
+    run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="run directory for JSON artifacts + checkpoints "
+        "(default runs/<experiment>-<scale>-seed<seed>; use --no-artifacts to skip)",
+    )
+    run.add_argument(
+        "--no-artifacts",
+        action="store_true",
+        help="do not write any files; print the result only",
+    )
+    run.add_argument(
+        "--datasets",
+        type=_csv_strings,
+        default=None,
+        help="comma-separated dataset analogues (figure2/table2/table4)",
+    )
+    run.add_argument(
+        "--dataset", default=None, help="single dataset analogue (figure3/table3)"
+    )
+    run.add_argument(
+        "--methods",
+        type=_csv_strings,
+        default=None,
+        help="comma-separated selection methods",
+    )
+    run.add_argument("--method", default=None, help="single selection method (figure3)")
+    run.add_argument(
+        "--num-seeds",
+        type=int,
+        default=None,
+        help="framework-seed repetitions to average over",
+    )
+    run.add_argument(
+        "--counts",
+        type=_csv_ints,
+        default=None,
+        help="comma-separated synthesis counts (figure3)",
+    )
+    run.add_argument(
+        "--bins",
+        type=_csv_ints,
+        default=None,
+        dest="bins_list",
+        help="comma-separated buffer bin counts (table3)",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress progress logging")
+
+    subparsers.add_parser(
+        "list",
+        help="list the registered experiments",
+        description="List every experiment the `run` subcommand accepts.",
+    )
+    return parser
+
+
+def _collect_options(spec_options: Sequence[str], args: argparse.Namespace) -> dict:
+    """CLI flags -> runner kwargs, keeping only what the experiment accepts."""
+    candidates = {
+        "datasets": args.datasets,
+        "dataset": args.dataset,
+        "methods": args.methods,
+        "method": args.method,
+        "num_seeds": args.num_seeds,
+        "counts": args.counts,
+        "bins_list": args.bins_list,
+    }
+    options = {}
+    for name, value in candidates.items():
+        if value is None:
+            continue
+        if name not in spec_options:
+            raise SystemExit(
+                f"error: experiment {args.experiment!r} does not accept --"
+                f"{name.replace('_list', '').replace('_', '-')} "
+                f"(accepted options: {sorted(set(spec_options) - {'run_dir'})})"
+            )
+        options[name] = value
+    return options
+
+
+def _command_list() -> int:
+    for name in experiment_names():
+        spec = get_experiment(name)
+        print(f"{name:<10} {spec.title}")
+        print(f"{'':<10} {spec.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        enable_console_logging()
+    try:
+        spec = get_experiment(args.experiment)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    options = _collect_options(spec.options, args)
+
+    if args.no_artifacts and args.out is not None:
+        print(
+            "error: --out and --no-artifacts contradict each other "
+            "(--no-artifacts writes nothing, including checkpoints)",
+            file=sys.stderr,
+        )
+        return 2
+    out_dir = args.out
+    scale_name = args.scale
+    if out_dir is None and not args.no_artifacts:
+        from repro.experiments.presets import get_scale
+
+        resolved = get_scale(scale_name, seed=args.seed)
+        out_dir = f"runs/{args.experiment}-{resolved.name}-seed{args.seed}"
+
+    run = run_experiment(
+        args.experiment,
+        scale=scale_name,
+        seed=args.seed,
+        out_dir=out_dir,
+        **options,
+    )
+    print(f"== {spec.title} (scale={run.scale}, seed={run.seed}) ==")
+    print(spec.formatter(run.result))
+    print(f"\ncompleted in {run.seconds:.1f}s")
+    if run.artifacts:
+        for kind, path in sorted(run.artifacts.items()):
+            print(f"{kind}: {path}")
+        print(f"checkpoints: {run.run_dir / 'checkpoints'}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro``, ``python -m repro`` and the tests."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution
+    raise SystemExit(main())

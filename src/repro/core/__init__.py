@@ -12,6 +12,20 @@ from repro.core.baselines import (
     make_selector,
 )
 from repro.core.buffer import BufferEntry, BufferGeometry, DataBuffer
+from repro.core.checkpoint import CheckpointError, CheckpointManager
+from repro.core.engine import (
+    STAGES,
+    DialogueEvent,
+    EvalEvent,
+    EventLogObserver,
+    HookRegistry,
+    LearningCurveObserver,
+    PipelineEngine,
+    PipelineObserver,
+    RoundEndEvent,
+    RoundStartEvent,
+    StageTimingObserver,
+)
 from repro.core.framework import (
     FrameworkConfig,
     LearningCurvePoint,
@@ -43,14 +57,27 @@ __all__ = [
     "BASELINE_NAMES",
     "BufferEntry",
     "BufferGeometry",
+    "CheckpointError",
+    "CheckpointManager",
     "DataBuffer",
     "DataSynthesizer",
+    "DialogueEvent",
+    "EvalEvent",
+    "EventLogObserver",
     "FIFOReplaceSelector",
     "FrameworkConfig",
+    "HookRegistry",
     "KCenterSelector",
+    "LearningCurveObserver",
     "LearningCurvePoint",
     "PersonalizationFramework",
     "PersonalizationResult",
+    "PipelineEngine",
+    "PipelineObserver",
+    "RoundEndEvent",
+    "RoundStartEvent",
+    "STAGES",
+    "StageTimingObserver",
     "QualityScoreSelector",
     "QualityScorer",
     "QualityScores",

@@ -14,12 +14,12 @@ made, which is the user-burden statistic an on-device deployment cares about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 from repro.data.dialogue import DialogueSet
 from repro.utils.config import require_in_unit_interval
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, get_generator_state, set_generator_state
 
 
 @dataclass
@@ -85,3 +85,13 @@ class AnnotationOracle:
     def request_count(self) -> int:
         """Total number of annotation requests made so far."""
         return self.stats.requests
+
+    # -- serialization (the checkpoint contract) ------------------------------ #
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the oracle's RNG stream and statistics."""
+        return {"rng": get_generator_state(self._rng), "stats": replace(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        set_generator_state(self._rng, state["rng"])
+        self.stats = replace(state["stats"])

@@ -218,3 +218,29 @@ class DataBuffer:
         this exists for tests and ablations)."""
         self._entries.clear()
         self._invalidate_views()
+
+    # -- serialization (the checkpoint contract) ----------------------------- #
+    def state_dict(self) -> dict:
+        """Picklable snapshot: the occupied bins plus the mutation counters."""
+        return {
+            "entries": list(self._entries),
+            "insertions": self._insertions,
+            "replacements": self._replacements,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The buffer must have capacity for the snapshotted entries (it was
+        configured from the same ``FrameworkConfig``).
+        """
+        entries = list(state["entries"])
+        if len(entries) > self.num_bins:
+            raise ValueError(
+                f"snapshot holds {len(entries)} buffer entries but the buffer "
+                f"capacity is {self.num_bins}"
+            )
+        self._entries = entries
+        self._insertions = int(state["insertions"])
+        self._replacements = int(state["replacements"])
+        self._invalidate_views()

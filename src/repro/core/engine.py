@@ -1,0 +1,589 @@
+"""The staged pipeline engine driving the personalization loop.
+
+The paper's framework (Section 3.1) is a long-running on-device loop; this
+module makes that loop an explicit, composable pipeline instead of one
+monolithic ``run`` method.  The loop is decomposed into six named stages —
+
+``ingest``      optionally regenerate the model response for an arrival
+``select``      offer the dialogue set to the selection policy
+``annotate``    ask the (simulated) user for the preferred response
+``synthesize``  generate semantically similar sets from the buffer
+``finetune``    one LoRA fine-tuning round over buffer + synthesized data
+``evaluate``    score the current model on the held-out evaluator
+
+— coordinated by :class:`PipelineEngine`, with a typed hook/event system so
+learning-curve recording, structured event logging, timing and future
+telemetry are pluggable observers rather than inline code.
+
+The engine owns the run-progress state (dialogues seen, rounds completed,
+learning curve so far) and can capture / restore it in full through
+:meth:`PipelineEngine.capture_state` / :meth:`PipelineEngine.restore_state`,
+which is what :mod:`repro.core.checkpoint` serializes to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Union
+
+from repro.core.annotation import AnnotationOracle
+from repro.core.buffer import BufferEntry, DataBuffer
+from repro.core.metrics import QualityScorer
+from repro.core.selector import SelectionDecision, SelectionPolicy
+from repro.core.synthesis import DataSynthesizer
+from repro.data.dialogue import DialogueSet
+from repro.data.stream import DialogueStream
+from repro.llm.finetune import FineTuneReport, LoRAFineTuner
+from repro.llm.model import OnDeviceLLM
+from repro.utils.logging import EventRecorder
+from repro.utils.timing import SectionTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.framework import (
+        Evaluator,
+        FrameworkConfig,
+        LearningCurvePoint,
+        PersonalizationResult,
+    )
+
+#: The named stages of the pipeline, in execution order.
+STAGES = ("ingest", "select", "annotate", "synthesize", "finetune", "evaluate")
+
+
+# --------------------------------------------------------------------------- #
+# typed events
+# --------------------------------------------------------------------------- #
+@dataclass
+class DialogueEvent:
+    """Fired after one dialogue set went through ingest/select/annotate."""
+
+    seen: int
+    dialogue: DialogueSet
+    decision: SelectionDecision
+
+
+@dataclass
+class RoundStartEvent:
+    """Fired right before a synthesis + fine-tuning round begins."""
+
+    round_index: int
+    seen: int
+    buffer_size: int
+
+
+@dataclass
+class RoundEndEvent:
+    """Fired after a fine-tuning round completed."""
+
+    round_index: int
+    seen: int
+    report: FineTuneReport
+    num_originals: int
+    num_synthesized: int
+
+
+@dataclass
+class EvalEvent:
+    """Fired after the evaluator scored the current model."""
+
+    seen: int
+    round_index: int
+    score: float
+    seconds: float
+    initial: bool = False
+
+
+class PipelineObserver:
+    """Base observer: subclass and override the hooks you care about.
+
+    Every hook is a no-op by default so observers only implement what they
+    need.  ``on_run_start`` / ``on_run_end`` receive the engine itself; the
+    other hooks receive the typed event dataclasses above.
+    """
+
+    def on_run_start(self, engine: "PipelineEngine") -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_dialogue(self, event: DialogueEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_round_start(self, event: RoundStartEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_round_end(self, event: RoundEndEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_eval(self, event: EvalEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_run_end(self, engine: "PipelineEngine") -> None:  # pragma: no cover - default no-op
+        pass
+
+
+#: Hook names the registry accepts (mirrors :class:`PipelineObserver`).
+HOOK_NAMES = (
+    "on_run_start",
+    "on_dialogue",
+    "on_round_start",
+    "on_round_end",
+    "on_eval",
+    "on_run_end",
+)
+
+
+class HookRegistry:
+    """Dispatches pipeline events to observers and plain callbacks."""
+
+    def __init__(self) -> None:
+        self._observers: List[PipelineObserver] = []
+        self._callbacks: Dict[str, List[Callable]] = {name: [] for name in HOOK_NAMES}
+
+    def add_observer(self, observer: PipelineObserver) -> PipelineObserver:
+        """Register a :class:`PipelineObserver`; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    def add(self, hook: str, callback: Callable) -> None:
+        """Register a bare callable for one hook (``hook`` must be typed)."""
+        if hook not in self._callbacks:
+            raise KeyError(f"unknown hook {hook!r}; known hooks: {HOOK_NAMES}")
+        self._callbacks[hook].append(callback)
+
+    def emit(self, hook: str, payload) -> None:
+        """Fire one hook on every observer and registered callback, in order."""
+        for observer in self._observers:
+            getattr(observer, hook)(payload)
+        for callback in self._callbacks[hook]:
+            callback(payload)
+
+
+# --------------------------------------------------------------------------- #
+# built-in observers
+# --------------------------------------------------------------------------- #
+class LearningCurveObserver(PipelineObserver):
+    """Accumulates :class:`LearningCurvePoint`s from ``on_eval`` events.
+
+    This is the Figure 2 profiling signal; it used to be inline code in the
+    monolithic ``run`` method and is now just one observer among others.
+    """
+
+    def __init__(self) -> None:
+        self.points: List["LearningCurvePoint"] = []
+
+    def on_eval(self, event: EvalEvent) -> None:
+        from repro.core.framework import LearningCurvePoint
+
+        self.points.append(
+            LearningCurvePoint(
+                seen=event.seen,
+                rouge_1=event.score,
+                finetune_round=event.round_index,
+                eval_seconds=event.seconds,
+            )
+        )
+
+
+class EventLogObserver(PipelineObserver):
+    """Forwards pipeline events to an :class:`EventRecorder`.
+
+    Preserves the event names and payload shapes tests and the evaluation
+    harness already rely on (``buffer_insert``, ``finetune_round``).
+    """
+
+    def __init__(self, recorder: EventRecorder) -> None:
+        self.recorder = recorder
+
+    def on_dialogue(self, event: DialogueEvent) -> None:
+        decision = event.decision
+        if decision.accepted and decision.entry is not None:
+            self.recorder.record(
+                "buffer_insert",
+                seen=event.seen,
+                replaced=decision.was_replacement,
+                domain=decision.entry.dominant_domain,
+            )
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        self.recorder.record(
+            "finetune_round",
+            round=event.round_index,
+            originals=event.num_originals,
+            synthesized=event.num_synthesized,
+            final_loss=event.report.final_loss,
+            seconds=event.report.seconds_total,
+        )
+
+
+class StageTimingObserver(PipelineObserver):
+    """Collects per-round wall-clock aggregates (telemetry example observer)."""
+
+    def __init__(self) -> None:
+        self.round_seconds: List[float] = []
+        self.eval_seconds: List[float] = []
+
+    def on_round_end(self, event: RoundEndEvent) -> None:
+        self.round_seconds.append(event.report.seconds_total)
+
+    def on_eval(self, event: EvalEvent) -> None:
+        self.eval_seconds.append(event.seconds)
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+class PipelineEngine:
+    """Coordinates the six pipeline stages over a dialogue stream.
+
+    The engine does not construct its components — the framework (or a test)
+    wires buffer, scorer, selector, annotator, synthesizer and fine-tuner and
+    hands them over.  The engine contributes the loop structure, the hook
+    system, the run-progress state and checkpointability.
+    """
+
+    def __init__(
+        self,
+        llm: OnDeviceLLM,
+        config: "FrameworkConfig",
+        buffer: DataBuffer,
+        scorer: QualityScorer,
+        selector: SelectionPolicy,
+        annotator: AnnotationOracle,
+        synthesizer: DataSynthesizer,
+        finetuner: LoRAFineTuner,
+        recorder: Optional[EventRecorder] = None,
+        timer: Optional[SectionTimer] = None,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> None:
+        self.llm = llm
+        self.config = config
+        self.buffer = buffer
+        self.scorer = scorer
+        self.selector = selector
+        self.annotator = annotator
+        self.synthesizer = synthesizer
+        self.finetuner = finetuner
+        self.recorder = recorder if recorder is not None else EventRecorder()
+        self.timer = timer if timer is not None else SectionTimer()
+        self.hooks = HookRegistry()
+        self._curve = self.hooks.add_observer(LearningCurveObserver())
+        self.hooks.add_observer(EventLogObserver(self.recorder))
+        for observer in observers:
+            self.hooks.add_observer(observer)
+        self._seen = 0
+        self._finetune_rounds = 0
+        self._reports: List[FineTuneReport] = []
+        # Stream cursor: dialogue sets consumed *from the stream by run()*.
+        # Deliberately distinct from ``_seen`` — standalone process_dialogue
+        # calls count towards seen but consume nothing from a stream, and a
+        # completed run resets the cursor so a subsequent run() over another
+        # stream starts from its beginning.  Non-zero only mid-run or right
+        # after a checkpoint restore.
+        self._stream_cursor = 0
+
+    # -- run-progress state ------------------------------------------------- #
+    @property
+    def seen_count(self) -> int:
+        """Number of dialogue sets processed so far."""
+        return self._seen
+
+    @property
+    def finetune_round_count(self) -> int:
+        """Number of completed fine-tuning rounds."""
+        return self._finetune_rounds
+
+    @property
+    def learning_curve(self) -> List["LearningCurvePoint"]:
+        """The learning-curve points recorded so far (live list)."""
+        return self._curve.points
+
+    @property
+    def finetune_reports(self) -> List[FineTuneReport]:
+        """Reports of the completed fine-tuning rounds (live list)."""
+        return self._reports
+
+    # ------------------------------------------------------------------ #
+    # stages
+    # ------------------------------------------------------------------ #
+    def ingest(self, dialogue: DialogueSet) -> DialogueSet:
+        """Stage 1 — optionally regenerate the model response for an arrival."""
+        if not self.config.regenerate_responses:
+            return dialogue
+        with self.timer.section("generation"):
+            return dialogue.with_response(self.llm.respond(dialogue.question))
+
+    def select(self, dialogue: DialogueSet) -> SelectionDecision:
+        """Stage 2 — offer the dialogue set to the selection policy."""
+        with self.timer.section("selection"):
+            return self.selector.offer(dialogue)
+
+    def annotate(self, entry: BufferEntry) -> BufferEntry:
+        """Stage 3 — user annotation of a dialogue set accepted into the buffer."""
+        with self.timer.section("annotation"):
+            annotated = self.annotator.annotate(entry.dialogue)
+        entry.dialogue = annotated
+        entry.annotated = True
+        return entry
+
+    def synthesize(self, originals: Sequence[DialogueSet]) -> List[DialogueSet]:
+        """Stage 4 — generate semantically similar sets from the buffer."""
+        with self.timer.section("synthesis"):
+            return self.synthesizer.synthesize(list(originals))
+
+    def finetune(self, training_data: Sequence[DialogueSet]) -> FineTuneReport:
+        """Stage 5 — one LoRA fine-tuning round over ``training_data``."""
+        with self.timer.section("finetune"):
+            report = self.finetuner.finetune(list(training_data))
+        # Fine-tuning changed the embedding function; cached per-text
+        # embeddings no longer reflect the model.
+        self._invalidate_embedding_caches()
+        return report
+
+    def _invalidate_embedding_caches(self) -> None:
+        """Drop every embedding memo cache after the model weights changed.
+
+        An injected selector may carry its own scorer, so that one is
+        invalidated too.
+        """
+        self.scorer.invalidate_embeddings()
+        selector_scorer = getattr(self.selector, "scorer", None)
+        if selector_scorer is not None and selector_scorer is not self.scorer:
+            selector_scorer.invalidate_embeddings()
+
+    def evaluate(self, evaluator: "Evaluator", initial: bool = False) -> float:
+        """Stage 6 — score the current model; fires ``on_eval``."""
+        with self.timer.section("evaluation"):
+            score = evaluator(self.llm)
+        self.hooks.emit(
+            "on_eval",
+            EvalEvent(
+                seen=self._seen,
+                round_index=self._finetune_rounds,
+                score=score,
+                seconds=self.timer.record("evaluation").durations[-1],
+                initial=initial,
+            ),
+        )
+        return score
+
+    # ------------------------------------------------------------------ #
+    # composite steps
+    # ------------------------------------------------------------------ #
+    def process_dialogue(self, dialogue: DialogueSet) -> SelectionDecision:
+        """Run ingest → select → annotate for one arrival; fires ``on_dialogue``."""
+        self._seen += 1
+        dialogue = self.ingest(dialogue)
+        decision = self.select(dialogue)
+        if decision.accepted and decision.entry is not None:
+            self.annotate(decision.entry)
+        self.hooks.emit(
+            "on_dialogue",
+            DialogueEvent(seen=self._seen, dialogue=dialogue, decision=decision),
+        )
+        return decision
+
+    def finetune_round(self) -> FineTuneReport:
+        """Run synthesize → finetune; fires ``on_round_start``/``on_round_end``."""
+        self.hooks.emit(
+            "on_round_start",
+            RoundStartEvent(
+                round_index=self._finetune_rounds + 1,
+                seen=self._seen,
+                buffer_size=len(self.buffer),
+            ),
+        )
+        originals = self.buffer.dialogues()
+        synthesized = self.synthesize(originals)
+        report = self.finetune(originals + synthesized)
+        self._finetune_rounds += 1
+        self._reports.append(report)
+        self.hooks.emit(
+            "on_round_end",
+            RoundEndEvent(
+                round_index=self._finetune_rounds,
+                seen=self._seen,
+                report=report,
+                num_originals=len(originals),
+                num_synthesized=len(synthesized),
+            ),
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # full streaming run
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stream: DialogueStream,
+        evaluator: Optional["Evaluator"] = None,
+        evaluate_initial: bool = True,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[Union[str, Path]] = None,
+    ) -> "PersonalizationResult":
+        """Process a whole stream, fine-tuning every ``finetune_interval`` sets.
+
+        ``evaluator`` is called with the LLM after every fine-tuning round
+        (and optionally once before any data is seen) to build the learning
+        curve.  With ``checkpoint_dir`` set, the full engine state is written
+        there after every ``checkpoint_every``-th fine-tuning round (and once
+        more at the end of the stream).  With ``resume_from`` set, the engine
+        first restores the checkpoint found there and continues the stream
+        from the saved cursor — producing the same learning curve an
+        uninterrupted run would have.
+        """
+        from repro.core.checkpoint import CheckpointManager
+
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        manager = CheckpointManager(checkpoint_dir) if checkpoint_dir is not None else None
+        if resume_from is not None:
+            CheckpointManager(resume_from).restore(self)
+
+        # A non-zero cursor means this run continues a checkpointed one: its
+        # result must contain the *whole* accumulated curve, and the initial
+        # evaluation already happened.  A fresh run on a reused engine starts
+        # a new curve (and stream coverage) of its own, like the seed did.
+        resuming = self._stream_cursor > 0
+        curve_start = 0 if resuming else len(self._curve.points)
+        reports_start = 0 if resuming else len(self._reports)
+
+        self.hooks.emit("on_run_start", self)
+        if evaluator is not None and evaluate_initial and not resuming:
+            self.evaluate(evaluator, initial=True)
+
+        # A mid-chunk cursor (possible when resuming a manual mid-chunk
+        # save) first yields the remainder of its chunk; that remainder ends
+        # on the stream's interval grid and must count as a full-chunk
+        # boundary even though it is short.
+        remainder_pending = self._stream_cursor % stream.config.finetune_interval != 0
+        last_saved = None
+        try:
+            for chunk in stream.chunks(skip=self._stream_cursor):
+                for dialogue in chunk:
+                    # Advance the cursor first so a checkpoint taken from an
+                    # on_dialogue hook counts the dialogue it just processed
+                    # as consumed.
+                    self._stream_cursor += 1
+                    self.process_dialogue(dialogue)
+                completes_grid = (
+                    remainder_pending
+                    and self._stream_cursor % stream.config.finetune_interval == 0
+                )
+                remainder_pending = False
+                is_full_chunk = (
+                    len(chunk) >= self.config.finetune_interval or completes_grid
+                )
+                if not is_full_chunk and not self.config.finetune_on_partial_chunk:
+                    continue
+                if self.buffer.is_empty():
+                    continue
+                self.finetune_round()
+                if evaluator is not None:
+                    self.evaluate(evaluator)
+                if manager is not None and self._finetune_rounds % checkpoint_every == 0:
+                    manager.save(self)
+                    last_saved = (self._stream_cursor, self._finetune_rounds)
+
+            if manager is not None and last_saved != (
+                self._stream_cursor,
+                self._finetune_rounds,
+            ):
+                manager.save(self)
+        finally:
+            # Whether the run completed or died, the engine must not carry a
+            # cursor into an unrelated later run() call; resuming an aborted
+            # run goes through resume_from / load_checkpoint, which restore
+            # the cursor from the snapshot.
+            self._stream_cursor = 0
+        result = self.build_result(curve_start=curve_start, reports_start=reports_start)
+        self.hooks.emit("on_run_end", self)
+        return result
+
+    def build_result(
+        self, curve_start: int = 0, reports_start: int = 0
+    ) -> "PersonalizationResult":
+        """Assemble a :class:`PersonalizationResult` from the current state.
+
+        ``curve_start`` / ``reports_start`` bound the slice belonging to the
+        current run (a reused engine keeps earlier runs' history for
+        checkpointing, but each run reports only its own curve).
+        """
+        from repro.core.framework import PersonalizationResult
+
+        return PersonalizationResult(
+            selector_name=self.selector.name,
+            learning_curve=list(self._curve.points[curve_start:]),
+            finetune_reports=list(self._reports[reports_start:]),
+            total_seen=self._seen,
+            annotation_requests=self.annotator.request_count,
+            synthesized_total=self.synthesizer.stats.generated,
+            buffer_domain_histogram=self.buffer.domain_histogram(),
+            buffer_occupancy=self.buffer.occupancy(),
+            acceptance_rate=self.selector.acceptance_rate(),
+            timings=self.timer.summary(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpointable state
+    # ------------------------------------------------------------------ #
+    def capture_state(self) -> dict:
+        """Everything needed to continue this run bit-for-bit identically.
+
+        Sections (all picklable): run progress (stream cursor, rounds, the
+        learning curve, fine-tune reports), the model runtime state (weights
+        incl. LoRA, mode, generation + dropout RNGs), the fine-tuner state
+        (epoch-shuffling RNG + optimizer moments), the buffer contents, and
+        the remaining components' ``state_dict`` snapshots — so a custom
+        selector that overrides :meth:`SelectionPolicy.state_dict` is
+        checkpointed faithfully too.
+
+        Buffer entries are aliased, not copied: an entry is only mutated
+        (annotated) inside the same process_dialogue call that inserted it,
+        and capture runs between pipeline steps — afterwards entries are
+        only ever evicted wholesale, never written through.
+        """
+        return {
+            "progress": {
+                "seen": self._seen,
+                "finetune_rounds": self._finetune_rounds,
+                "stream_cursor": self._stream_cursor,
+                "learning_curve": list(self._curve.points),
+                "finetune_reports": list(self._reports),
+            },
+            "model": self.llm.export_runtime_state(),
+            "finetuner": self.finetuner.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "components": {
+                "selector": self.selector.state_dict(),
+                "annotator": self.annotator.state_dict(),
+                "synthesizer": self.synthesizer.state_dict(),
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`capture_state`.
+
+        The engine must have been constructed with the same configuration
+        (model architecture, LoRA config, selector type, buffer capacity) as
+        the engine the snapshot was captured from.
+        """
+        self.llm.load_runtime_state(state["model"])
+        self.finetuner.load_state_dict(state["finetuner"])
+        self.buffer.load_state_dict(state["buffer"])
+
+        components = state["components"]
+        self.selector.load_state_dict(components["selector"])
+        self.annotator.load_state_dict(components["annotator"])
+        self.synthesizer.load_state_dict(components["synthesizer"])
+
+        progress = state["progress"]
+        self._seen = int(progress["seen"])
+        self._finetune_rounds = int(progress["finetune_rounds"])
+        self._stream_cursor = int(progress["stream_cursor"])
+        self._curve.points[:] = list(progress["learning_curve"])
+        self._reports[:] = list(progress["finetune_reports"])
+        # The restored weights differ from whatever the scorer(s) cached
+        # embeddings under; stale vectors must not survive the restore (this
+        # covers an injected selector's own scorer too).
+        self._invalidate_embedding_caches()

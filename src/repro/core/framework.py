@@ -12,19 +12,25 @@ The framework drives the three stages end to end over a streaming corpus:
    LLM with LoRA and AdamW.  Fine-tuning triggers every ``finetune_interval``
    dialogue sets received; the buffer is *not* cleared afterwards.
 
-The run method records a learning curve (ROUGE-1 against a held-out evaluator
-as a function of the number of dialogue sets seen), which is the profiling
-tool used for Figure 2.
+Structurally, :class:`PersonalizationFramework` is a facade: it wires the
+components (buffer, scorer, selector, annotator, synthesizer, fine-tuner)
+and hands them to the staged :class:`~repro.core.engine.PipelineEngine`,
+which owns the loop, the hook/event system, and full-state checkpoint /
+resume (see :mod:`repro.core.checkpoint`).  The run records a learning curve
+(ROUGE-1 against a held-out evaluator as a function of the number of
+dialogue sets seen), which is the profiling tool used for Figure 2.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.annotation import AnnotationOracle
 from repro.core.baselines import make_selector
 from repro.core.buffer import BufferGeometry, DataBuffer
+from repro.core.engine import PipelineEngine, PipelineObserver
 from repro.core.metrics import QualityScorer
 from repro.core.selector import SelectionDecision, SelectionPolicy
 from repro.core.synthesis import DataSynthesizer, SynthesisConfig
@@ -34,9 +40,7 @@ from repro.data.stream import DialogueStream
 from repro.llm.finetune import FineTuneConfig, FineTuneReport, LoRAFineTuner
 from repro.llm.model import OnDeviceLLM
 from repro.utils.config import require_positive
-from repro.utils.logging import EventRecorder
 from repro.utils.rng import as_generator
-from repro.utils.timing import SectionTimer
 
 Evaluator = Callable[[OnDeviceLLM], float]
 
@@ -117,6 +121,7 @@ class PersonalizationFramework:
         lexicons: Optional[LexiconCollection] = None,
         annotator: Optional[AnnotationOracle] = None,
         selector: Optional[SelectionPolicy] = None,
+        observers: Sequence[PipelineObserver] = (),
     ) -> None:
         self.llm = llm
         self.config = config or FrameworkConfig()
@@ -134,63 +139,57 @@ class PersonalizationFramework:
         )
         self.synthesizer = DataSynthesizer(llm, self.config.synthesis, rng=rng)
         self.finetuner = LoRAFineTuner(llm, self.config.finetune)
-        self.recorder = EventRecorder()
-        self.timer = SectionTimer()
-        self._seen = 0
-        self._finetune_rounds = 0
+        self.engine = PipelineEngine(
+            llm=llm,
+            config=self.config,
+            buffer=self.buffer,
+            scorer=self.scorer,
+            selector=self.selector,
+            annotator=self.annotator,
+            synthesizer=self.synthesizer,
+            finetuner=self.finetuner,
+            observers=observers,
+        )
+
+    # -- engine passthroughs ------------------------------------------------ #
+    @property
+    def hooks(self):
+        """The engine's hook registry (register observers / callbacks here)."""
+        return self.engine.hooks
+
+    @property
+    def recorder(self):
+        """The engine's structured event recorder."""
+        return self.engine.recorder
+
+    @property
+    def timer(self):
+        """The engine's per-stage section timer."""
+        return self.engine.timer
+
+    @property
+    def seen_count(self) -> int:
+        """Number of dialogue sets processed so far."""
+        return self.engine.seen_count
+
+    @property
+    def finetune_round_count(self) -> int:
+        """Number of completed fine-tuning rounds."""
+        return self.engine.finetune_round_count
 
     # ------------------------------------------------------------------ #
-    # single-dialogue processing (stage 1)
+    # single-dialogue processing (ingest → select → annotate)
     # ------------------------------------------------------------------ #
     def process_dialogue(self, dialogue: DialogueSet) -> SelectionDecision:
         """Run the selection (and, if accepted, annotation) stage for one set."""
-        self._seen += 1
-        if self.config.regenerate_responses:
-            with self.timer.section("generation"):
-                dialogue = dialogue.with_response(self.llm.respond(dialogue.question))
-        with self.timer.section("selection"):
-            decision = self.selector.offer(dialogue)
-        if decision.accepted and decision.entry is not None:
-            with self.timer.section("annotation"):
-                annotated = self.annotator.annotate(decision.entry.dialogue)
-            decision.entry.dialogue = annotated
-            decision.entry.annotated = True
-            self.recorder.record(
-                "buffer_insert",
-                seen=self._seen,
-                replaced=decision.was_replacement,
-                domain=decision.entry.dominant_domain,
-            )
-        return decision
+        return self.engine.process_dialogue(dialogue)
 
     # ------------------------------------------------------------------ #
-    # synthesis + fine-tuning (stages 2 and 3)
+    # synthesis + fine-tuning
     # ------------------------------------------------------------------ #
     def finetune_round(self) -> FineTuneReport:
         """Synthesize from the buffer and run one LoRA fine-tuning round."""
-        originals = self.buffer.dialogues()
-        with self.timer.section("synthesis"):
-            synthesized = self.synthesizer.synthesize(originals)
-        training_data = originals + synthesized
-        with self.timer.section("finetune"):
-            report = self.finetuner.finetune(training_data)
-        # Fine-tuning changed the embedding function; cached per-text
-        # embeddings no longer reflect the model.  An injected selector may
-        # carry its own scorer, so invalidate that one too.
-        self.scorer.invalidate_embeddings()
-        selector_scorer = getattr(self.selector, "scorer", None)
-        if selector_scorer is not None and selector_scorer is not self.scorer:
-            selector_scorer.invalidate_embeddings()
-        self._finetune_rounds += 1
-        self.recorder.record(
-            "finetune_round",
-            round=self._finetune_rounds,
-            originals=len(originals),
-            synthesized=len(synthesized),
-            final_loss=report.final_loss,
-            seconds=report.seconds_total,
-        )
-        return report
+        return self.engine.finetune_round()
 
     # ------------------------------------------------------------------ #
     # full streaming run
@@ -200,58 +199,44 @@ class PersonalizationFramework:
         stream: DialogueStream,
         evaluator: Optional[Evaluator] = None,
         evaluate_initial: bool = True,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[Union[str, Path]] = None,
     ) -> PersonalizationResult:
         """Process a whole stream, fine-tuning every ``finetune_interval`` sets.
 
         ``evaluator`` is called with the LLM after every fine-tuning round (and
         optionally once before any data is seen) to build the learning curve.
+        ``checkpoint_dir`` / ``checkpoint_every`` / ``resume_from`` enable the
+        engine's full-state checkpointing (see :mod:`repro.core.checkpoint`).
         """
-        result = PersonalizationResult(selector_name=self.selector.name)
-        reports: List[FineTuneReport] = []
+        return self.engine.run(
+            stream,
+            evaluator=evaluator,
+            evaluate_initial=evaluate_initial,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume_from=resume_from,
+        )
 
-        if evaluator is not None and evaluate_initial:
-            with self.timer.section("evaluation"):
-                initial = evaluator(self.llm)
-            result.learning_curve.append(
-                LearningCurvePoint(
-                    seen=0,
-                    rouge_1=initial,
-                    finetune_round=0,
-                    eval_seconds=self.timer.record("evaluation").durations[-1],
-                )
-            )
+    # ------------------------------------------------------------------ #
+    # checkpointing
+    # ------------------------------------------------------------------ #
+    def save_checkpoint(self, directory: Union[str, Path]) -> Path:
+        """Write the full run state to ``directory``; returns the directory."""
+        from repro.core.checkpoint import CheckpointManager
 
-        for chunk in stream.chunks():
-            for dialogue in chunk:
-                self.process_dialogue(dialogue)
-            is_full_chunk = len(chunk) >= self.config.finetune_interval
-            if not is_full_chunk and not self.config.finetune_on_partial_chunk:
-                continue
-            if self.buffer.is_empty():
-                continue
-            report = self.finetune_round()
-            reports.append(report)
-            if evaluator is not None:
-                with self.timer.section("evaluation"):
-                    score = evaluator(self.llm)
-                result.learning_curve.append(
-                    LearningCurvePoint(
-                        seen=self._seen,
-                        rouge_1=score,
-                        finetune_round=self._finetune_rounds,
-                        eval_seconds=self.timer.record("evaluation").durations[-1],
-                    )
-                )
+        return CheckpointManager(directory).save(self.engine)
 
-        result.finetune_reports = reports
-        result.total_seen = self._seen
-        result.annotation_requests = self.annotator.request_count
-        result.synthesized_total = self.synthesizer.stats.generated
-        result.buffer_domain_histogram = self.buffer.domain_histogram()
-        result.buffer_occupancy = self.buffer.occupancy()
-        result.acceptance_rate = self.selector.acceptance_rate()
-        result.timings = self.timer.summary()
-        return result
+    def load_checkpoint(self, directory: Union[str, Path]) -> dict:
+        """Restore run state saved by :meth:`save_checkpoint`.
+
+        The framework must have been constructed with the same configuration
+        as the one that saved the checkpoint.  Returns the manifest.
+        """
+        from repro.core.checkpoint import CheckpointManager
+
+        return CheckpointManager(directory).restore(self.engine)
 
 
 def run_personalization(

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.buffer import BufferEntry, DataBuffer
 from repro.core.metrics import QualityScorer, QualityScores
 from repro.data.dialogue import DialogueSet
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, get_generator_state, set_generator_state
 
 
 @dataclass
@@ -70,6 +70,26 @@ class SelectionPolicy:
         if self._offered == 0:
             return 0.0
         return self._accepted / self._offered
+
+    # -- serialization (the checkpoint contract) ------------------------------- #
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the policy's mutable run state.
+
+        Subclasses carrying extra state (counters, cached centers, ...) must
+        extend this and :meth:`load_state_dict` so checkpoint resume stays
+        bit-identical for them too.  The buffer is checkpointed separately.
+        """
+        return {
+            "rng": get_generator_state(self._rng),
+            "offered": self._offered,
+            "accepted": self._accepted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        set_generator_state(self._rng, state["rng"])
+        self._offered = int(state["offered"])
+        self._accepted = int(state["accepted"])
 
     # -- main entry point ----------------------------------------------------- #
     def offer(self, dialogue: DialogueSet) -> SelectionDecision:

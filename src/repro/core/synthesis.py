@@ -30,7 +30,7 @@ above the threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.data.dialogue import DialogueSet
@@ -39,7 +39,7 @@ from repro.llm.model import OnDeviceLLM
 from repro.textmetrics.rouge import Rouge1Reference
 from repro.tokenizer.word_tokenizer import split_words
 from repro.utils.config import require_choice, require_in_unit_interval, require_non_negative
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, get_generator_state, set_generator_state
 
 SYNTHESIS_PROMPT = (
     "please refine and generate a text semantically similar to the following "
@@ -217,3 +217,18 @@ class DataSynthesizer:
         for original in originals:
             synthesized.extend(self.synthesize_for(original))
         return synthesized
+
+    # ------------------------------------------------------------------ #
+    # serialization (the checkpoint contract)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the synthesizer's RNG stream and statistics."""
+        return {"rng": get_generator_state(self._rng), "stats": replace(self.stats)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        set_generator_state(self._rng, state["rng"])
+        self.stats = replace(state["stats"])
+        # The one-slot ROUGE reference memo is a pure function of its input
+        # text; dropping it only costs one re-tokenization.
+        self._reference = None

@@ -122,14 +122,28 @@ class DialogueStream:
         """Temporal correlation of this stream's ordering."""
         return temporal_correlation_index(self._ordered)
 
-    def chunks(self) -> Iterator[List[DialogueSet]]:
+    def chunks(self, skip: int = 0) -> Iterator[List[DialogueSet]]:
         """Yield consecutive chunks of ``finetune_interval`` dialogue sets.
 
         The final, possibly shorter chunk is also yielded so that no data is
         silently dropped; the framework decides whether to fine-tune on it.
+
+        ``skip`` is the stream cursor: the number of dialogue sets already
+        consumed (e.g. by a run being resumed from a checkpoint).  Chunk
+        boundaries stay aligned to the original interval grid, so a cursor
+        that is not itself a boundary first yields the remainder of the chunk
+        it falls inside.
         """
+        if skip < 0:
+            raise ValueError(f"skip must be non-negative, got {skip}")
         interval = self.config.finetune_interval
-        for start in range(0, len(self._ordered), interval):
+        if skip % interval:
+            boundary = (skip // interval + 1) * interval
+            partial = self._ordered[skip:boundary]
+            if partial:
+                yield partial
+            skip = boundary
+        for start in range(skip, len(self._ordered), interval):
             yield self._ordered[start : start + interval]
 
     def num_finetune_rounds(self) -> int:

@@ -23,6 +23,14 @@ from repro.experiments.presets import (
     small_scale,
     smoke_scale,
 )
+from repro.experiments.registry import (
+    ExperimentRun,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.table3 import Table3Result, run_table3
 from repro.experiments.table4 import Table4Result, run_table4
@@ -31,7 +39,9 @@ __all__ = [
     "ABLATION_METHODS",
     "DEFAULT_METHODS",
     "ExperimentEnvironment",
+    "ExperimentRun",
     "ExperimentScale",
+    "ExperimentSpec",
     "Figure2Result",
     "Figure3Result",
     "MethodScore",
@@ -39,12 +49,16 @@ __all__ = [
     "Table3Result",
     "Table4Result",
     "comparison_scores",
+    "experiment_names",
     "format_table",
     "framework_config_for",
+    "get_experiment",
     "get_scale",
     "paper_scale",
     "mean_final_rouge",
     "prepare_environment",
+    "register_experiment",
+    "run_experiment",
     "run_figure2",
     "run_figure3",
     "run_method",

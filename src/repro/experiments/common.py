@@ -11,7 +11,8 @@ identical weights.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.framework import FrameworkConfig, PersonalizationFramework, PersonalizationResult
 from repro.core.synthesis import SynthesisConfig
@@ -156,8 +157,14 @@ def run_method(
     synthesis_per_item: Optional[int] = None,
     evaluate: bool = True,
     seed: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> PersonalizationResult:
-    """Run one selection method on a clone of the shared base model."""
+    """Run one selection method on a clone of the shared base model.
+
+    With ``checkpoint_dir`` set, the full framework state is checkpointed
+    there after every fine-tuning round (see :mod:`repro.core.checkpoint`),
+    so an interrupted sweep can be resumed.
+    """
     llm = env.base_llm.clone()
     config = framework_config_for(
         env.scale,
@@ -169,7 +176,9 @@ def run_method(
     )
     framework = PersonalizationFramework(llm, config=config, lexicons=env.lexicons)
     evaluator = env.evaluator if evaluate else None
-    result = framework.run(env.make_stream(), evaluator=evaluator)
+    result = framework.run(
+        env.make_stream(), evaluator=evaluator, checkpoint_dir=checkpoint_dir
+    )
     _LOGGER.info(
         "%s on %s: final ROUGE-1 %.4f (acceptance %.2f)",
         method,
@@ -184,6 +193,7 @@ def run_method_mean(
     env: ExperimentEnvironment,
     method: str,
     num_seeds: int = 1,
+    checkpoint_root: Optional[Union[str, Path]] = None,
     **overrides,
 ) -> List[PersonalizationResult]:
     """Run one method ``num_seeds`` times with different framework seeds.
@@ -192,13 +202,21 @@ def run_method_mean(
     framework seed (selection tie-breaks, synthesis perturbations, fine-tuning
     shuffling) varies, which is the dominant source of run-to-run variance at
     reproduction scale.  Returns the list of results (average what you need).
+    With ``checkpoint_root`` set, each repetition checkpoints its run under
+    ``checkpoint_root/seed<framework seed>``.
     """
     results: List[PersonalizationResult] = []
     base_seed = overrides.pop("seed", None)
     if base_seed is None:
         base_seed = env.scale.seed
     for repetition in range(max(1, num_seeds)):
-        results.append(run_method(env, method, seed=base_seed + 101 * repetition, **overrides))
+        seed = base_seed + 101 * repetition
+        checkpoint_dir = (
+            Path(checkpoint_root) / f"seed{seed}" if checkpoint_root is not None else None
+        )
+        results.append(
+            run_method(env, method, seed=seed, checkpoint_dir=checkpoint_dir, **overrides)
+        )
     return results
 
 
@@ -213,6 +231,7 @@ def run_method_comparison(
     env: ExperimentEnvironment,
     methods: Sequence[str] = DEFAULT_METHODS,
     num_seeds: int = 1,
+    checkpoint_root: Optional[Union[str, Path]] = None,
     **overrides,
 ) -> Dict[str, PersonalizationResult]:
     """Run several methods on the same environment; returns ``{method: result}``.
@@ -221,10 +240,17 @@ def run_method_comparison(
     result is returned with its ``final_rouge``-bearing learning curve left
     intact, but the result's ``extra_seed_rouges`` metadata records every
     repetition so callers (and the table runners) can average.
+    ``checkpoint_root`` checkpoints each run under
+    ``checkpoint_root/<method>/seed<seed>``.
     """
     comparison: Dict[str, PersonalizationResult] = {}
     for method in methods:
-        repeats = run_method_mean(env, method, num_seeds=num_seeds, **overrides)
+        method_root = (
+            Path(checkpoint_root) / method if checkpoint_root is not None else None
+        )
+        repeats = run_method_mean(
+            env, method, num_seeds=num_seeds, checkpoint_root=method_root, **overrides
+        )
         primary = repeats[0]
         primary.timings["mean_final_rouge"] = mean_final_rouge(repeats)
         primary.timings["seed_rouges"] = [r.final_rouge for r in repeats]

@@ -10,7 +10,8 @@ or plotted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.data.synthetic import DATASET_NAMES
 from repro.eval.learning_curve import LearningCurve, format_learning_curves
@@ -54,13 +55,24 @@ def run_figure2(
     methods: Sequence[str] = DEFAULT_METHODS,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> Figure2Result:
-    """Run the learning-curve comparison on every dataset analogue."""
+    """Run the learning-curve comparison on every dataset analogue.
+
+    ``run_dir`` (set by the experiment runner CLI) enables per-run engine
+    checkpoints under ``run_dir/checkpoints/<dataset>/<method>/seed<seed>``.
+    """
     scale = scale or get_scale(seed=seed)
     figure = Figure2Result(methods=list(methods), datasets=list(datasets))
     for dataset in datasets:
         env = prepare_environment(dataset, scale=scale, seed=seed)
-        results = run_method_comparison(env, methods=methods)
+        checkpoint_root = (
+            Path(run_dir) / "checkpoints" / dataset if run_dir is not None else None
+        )
+        results = run_method_comparison(
+            env, methods=methods, num_seeds=num_seeds, checkpoint_root=checkpoint_root
+        )
         figure.curves[dataset] = {
             method: LearningCurve.from_result(result) for method, result in results.items()
         }

@@ -10,7 +10,8 @@ balance between the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -73,6 +74,7 @@ def run_figure3(
     method: str = "ours",
     seed: int = 0,
     num_seeds: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> Figure3Result:
     """Sweep the number of synthesized sets per original buffered set."""
     scale = scale or get_scale(seed=seed)
@@ -81,7 +83,16 @@ def run_figure3(
 
     figure = Figure3Result(dataset=dataset, counts=counts)
     for count in counts:
-        repeats = run_method_mean(env, method, num_seeds=num_seeds, synthesis_per_item=count)
+        checkpoint_root = (
+            Path(run_dir) / "checkpoints" / f"synth{count}" if run_dir is not None else None
+        )
+        repeats = run_method_mean(
+            env,
+            method,
+            num_seeds=num_seeds,
+            synthesis_per_item=count,
+            checkpoint_root=checkpoint_root,
+        )
         result = repeats[0]
         figure.results[count] = result
         figure.rouge_by_count[count] = mean_final_rouge(repeats)

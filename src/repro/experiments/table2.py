@@ -8,7 +8,8 @@ quality-score selection on all six dataset analogues with a fixed buffer size
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.framework import PersonalizationResult
 from repro.data.synthetic import DATASET_NAMES
@@ -61,6 +62,7 @@ def run_table2(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     num_seeds: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> Table2Result:
     """Run the Table 2 comparison.
 
@@ -72,7 +74,12 @@ def run_table2(
     table = Table2Result(methods=list(methods), datasets=list(datasets))
     for dataset in datasets:
         env = prepare_environment(dataset, scale=scale, seed=seed)
-        results = run_method_comparison(env, methods=methods, num_seeds=num_seeds)
+        checkpoint_root = (
+            Path(run_dir) / "checkpoints" / dataset if run_dir is not None else None
+        )
+        results = run_method_comparison(
+            env, methods=methods, num_seeds=num_seeds, checkpoint_root=checkpoint_root
+        )
         table.results[dataset] = results
         table.scores[dataset] = comparison_scores(results)
     return table

@@ -10,7 +10,8 @@ base buffer size and learning rate).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.buffer import BufferGeometry
 from repro.core.framework import PersonalizationResult
@@ -70,6 +71,7 @@ def run_table3(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     num_seeds: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> Table3Result:
     """Run the buffer-size sweep (averaged over ``num_seeds`` seeds)."""
     scale = scale or get_scale(seed=seed)
@@ -85,8 +87,18 @@ def run_table3(
         per_method: Dict[str, PersonalizationResult] = {}
         scores: Dict[str, float] = {}
         for method in methods:
+            checkpoint_root = (
+                Path(run_dir) / "checkpoints" / f"bins{bins}" / method
+                if run_dir is not None
+                else None
+            )
             repeats = run_method_mean(
-                env, method, num_seeds=num_seeds, buffer_bins=bins, learning_rate=learning_rate
+                env,
+                method,
+                num_seeds=num_seeds,
+                buffer_bins=bins,
+                learning_rate=learning_rate,
+                checkpoint_root=checkpoint_root,
             )
             per_method[method] = repeats[0]
             scores[method] = mean_final_rouge(repeats)

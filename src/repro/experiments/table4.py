@@ -8,7 +8,8 @@ full method on all six dataset analogues with the default buffer size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.framework import PersonalizationResult
 from repro.data.synthetic import DATASET_NAMES
@@ -55,13 +56,19 @@ def run_table4(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     num_seeds: int = 1,
+    run_dir: Optional[Union[str, Path]] = None,
 ) -> Table4Result:
     """Run the single-metric ablation (averaged over ``num_seeds`` seeds)."""
     scale = scale or get_scale(seed=seed)
     table = Table4Result(methods=list(methods), datasets=list(datasets))
     for dataset in datasets:
         env = prepare_environment(dataset, scale=scale, seed=seed)
-        results = run_method_comparison(env, methods=methods, num_seeds=num_seeds)
+        checkpoint_root = (
+            Path(run_dir) / "checkpoints" / dataset if run_dir is not None else None
+        )
+        results = run_method_comparison(
+            env, methods=methods, num_seeds=num_seeds, checkpoint_root=checkpoint_root
+        )
         table.results[dataset] = results
         table.scores[dataset] = comparison_scores(results)
     return table

@@ -22,7 +22,7 @@ from repro.nn.lora import LoRAConfig, lora_parameters
 from repro.nn.optim import AdamW, clip_grad_norm
 from repro.nn.functional import cross_entropy
 from repro.utils.config import require_positive
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, get_generator_state, set_generator_state
 
 IGNORE_INDEX = -100
 
@@ -162,6 +162,23 @@ class LoRAFineTuner:
     def set_learning_rate(self, learning_rate: float) -> None:
         """Override the learning rate (used by the √batch scaling rule)."""
         self._optimizer.set_lr(learning_rate)
+
+    # -- serialization (the checkpoint contract) --------------------------- #
+    def state_dict(self) -> dict:
+        """Picklable snapshot: epoch-shuffling RNG plus the optimizer state."""
+        return {
+            "rng": get_generator_state(self._rng),
+            "optimizer": self._optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The fine-tuner must manage the same LoRA parameters (same model
+        architecture and adapter config) as when the snapshot was taken.
+        """
+        set_generator_state(self._rng, state["rng"])
+        self._optimizer.load_state_dict(state["optimizer"])
 
     # ------------------------------------------------------------------ #
     def finetune(self, dialogues: Sequence[DialogueSet]) -> FineTuneReport:

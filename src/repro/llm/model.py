@@ -22,8 +22,9 @@ import numpy as np
 from repro.llm.generation import GenerationConfig, generate_tokens, generate_tokens_batch
 from repro.nn.lora import LoRAConfig, inject_lora, lora_layers, merge_lora
 from repro.nn.transformer import TransformerConfig, TransformerLM
+from repro.nn.layers import Dropout
 from repro.tokenizer.word_tokenizer import WordTokenizer
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, get_generator_state, set_generator_state
 
 
 @dataclass
@@ -243,6 +244,53 @@ class OnDeviceLLM:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
+    def _dropout_modules(self) -> List[Dropout]:
+        """Every dropout module, in deterministic depth-first order."""
+        return [module for module in self.model.modules() if isinstance(module, Dropout)]
+
+    def export_runtime_state(self) -> dict:
+        """Full mid-run snapshot: weights, LoRA config, mode and RNG streams.
+
+        Unlike :meth:`save` (which persists a finished model to disk), this
+        captures everything needed to continue *running* the model bit-for-bit
+        identically — including the generation RNG and the per-dropout-layer
+        RNGs that advance during training.  The returned dict is picklable.
+        """
+        return {
+            "state_dict": self.model.state_dict(),
+            "lora_config": self._lora_config,
+            "training": self.model.training,
+            "generation_rng": get_generator_state(self._generation_rng),
+            "dropout_rngs": [
+                get_generator_state(module._rng) for module in self._dropout_modules()
+            ],
+        }
+
+    def load_runtime_state(self, payload: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_runtime_state`.
+
+        The model must have the same architecture as the one snapshotted;
+        LoRA adapters are injected first when the snapshot carries them.
+        """
+        lora_config = payload.get("lora_config")
+        if lora_config is not None and not self.has_lora():
+            self.add_lora(lora_config)
+        self.model.load_state_dict(payload["state_dict"])
+        if payload.get("training", False):
+            self.model.train()
+        else:
+            self.model.eval()
+        set_generator_state(self._generation_rng, payload["generation_rng"])
+        dropouts = self._dropout_modules()
+        states = payload.get("dropout_rngs", [])
+        if len(states) != len(dropouts):
+            raise ValueError(
+                f"snapshot has {len(states)} dropout RNG states but the model "
+                f"has {len(dropouts)} dropout modules"
+            )
+        for module, state in zip(dropouts, states):
+            set_generator_state(module._rng, state)
+
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the model weights, tokenizer vocabulary and config."""
         path = Path(path)

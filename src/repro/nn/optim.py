@@ -46,6 +46,45 @@ class Optimizer:
         require_positive("lr", lr)
         self.lr = float(lr)
 
+    # -- serialization ---------------------------------------------------- #
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the optimizer state (not the parameters).
+
+        Subclasses extend this with their moment/velocity buffers; together
+        with the model state dict it makes mid-run training restartable.
+        """
+        return {"lr": self.lr, "step_count": self._step_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        The optimizer must manage the same number of parameters, with the
+        same shapes and in the same order, as when the snapshot was taken.
+        """
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        self._load_buffers(state)
+
+    def _load_buffers(self, state: dict) -> None:
+        """Hook for subclasses to restore their per-parameter buffers."""
+
+    def _check_buffers(self, name: str, buffers: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                f"optimizer state mismatch: {len(buffers)} {name} buffers for "
+                f"{len(self.parameters)} parameters"
+            )
+        restored = []
+        for buffer, parameter in zip(buffers, self.parameters):
+            array = np.asarray(buffer)
+            if array.shape != parameter.data.shape:
+                raise ValueError(
+                    f"optimizer {name} buffer shape {array.shape} does not match "
+                    f"parameter shape {parameter.data.shape}"
+                )
+            restored.append(array.copy())
+        return restored
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -70,6 +109,14 @@ class SGD(Optimizer):
             else:
                 update = parameter.grad
             parameter.data = parameter.data - self.lr * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def _load_buffers(self, state: dict) -> None:
+        self._velocity = self._check_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -103,6 +150,16 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def _load_buffers(self, state: dict) -> None:
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])
 
 
 class AdamW(Optimizer):
@@ -142,6 +199,16 @@ class AdamW(Optimizer):
             parameter.data = parameter.data - self.lr * (
                 m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * parameter.data
             )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def _load_buffers(self, state: dict) -> None:
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])
 
 
 def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:

@@ -34,6 +34,28 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(int(seed))
 
 
+def get_generator_state(rng: np.random.Generator) -> dict:
+    """Snapshot of a generator's internal state (a plain, picklable dict).
+
+    The checkpoint system stores these snapshots so a resumed run replays
+    exactly the random draws an uninterrupted run would have made.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(f"expected a numpy Generator, got {type(rng)!r}")
+    return rng.bit_generator.state
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator to a state captured by :func:`get_generator_state`.
+
+    The generator must use the same bit-generator algorithm the snapshot was
+    taken from (numpy validates this and raises otherwise).
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(f"expected a numpy Generator, got {type(rng)!r}")
+    rng.bit_generator.state = state
+
+
 def spawn(rng: SeedLike, count: int) -> list[np.random.Generator]:
     """Spawn ``count`` statistically independent child generators.
 

@@ -21,9 +21,35 @@ def _corpus(num_per_domain=10, domains=("a", "b", "c")):
     return DialogueCorpus(dialogues, name="toy")
 
 
+def _filler_corpus(size=8):
+    """A corpus of only filler items (domain ``None``)."""
+    return DialogueCorpus(
+        [DialogueSet(question=f"hm {index}", response="ok") for index in range(size)],
+        name="filler",
+    )
+
+
 class TestTemporalCorrelationIndex:
     def test_blocked_order_is_high(self):
         assert temporal_correlation_index(_corpus().dialogues()) > 0.8
+
+    def test_all_filler_corpus_is_zero(self):
+        # No labelled items at all: fewer than two domains to compare.
+        assert temporal_correlation_index(_filler_corpus().dialogues()) == 0.0
+
+    def test_single_labelled_among_filler_is_zero(self):
+        dialogues = _filler_corpus().dialogues()
+        dialogues.insert(3, DialogueSet(question="q", response="r", domain="a"))
+        assert temporal_correlation_index(dialogues) == 0.0
+
+    def test_filler_items_are_transparent(self):
+        # Filler between two same-domain items must not break the adjacency.
+        dialogues = [
+            DialogueSet(question="q1", response="r", domain="a"),
+            DialogueSet(question="hm", response="ok"),
+            DialogueSet(question="q2", response="r", domain="a"),
+        ]
+        assert temporal_correlation_index(dialogues) == 1.0
 
     def test_alternating_order_is_low(self):
         dialogues = []
@@ -57,6 +83,37 @@ class TestReorderWithCorrelation:
         ordered = reorder_with_correlation(corpus, 0.5, rng=3)
         assert sorted(d.question for d in ordered) == sorted(d.question for d in corpus)
 
+    def test_zero_correlation_is_a_pure_permutation(self):
+        corpus = _corpus()
+        ordered = reorder_with_correlation(corpus, 0.0, rng=7)
+        assert sorted(d.question for d in ordered) == sorted(d.question for d in corpus)
+        # Deterministic given the seed.
+        again = reorder_with_correlation(corpus, 0.0, rng=7)
+        assert [d.question for d in ordered] == [d.question for d in again]
+
+    def test_full_correlation_keeps_domains_contiguous(self):
+        # correlation == 1.0 means zero swaps: every domain must occupy one
+        # contiguous block in the output.
+        ordered = reorder_with_correlation(_corpus(), 1.0, rng=0)
+        domains = [d.domain for d in ordered]
+        seen_blocks = []
+        for domain in domains:
+            if not seen_blocks or seen_blocks[-1] != domain:
+                seen_blocks.append(domain)
+        assert len(seen_blocks) == len(set(domains))
+        # Only the block-transition pairs differ: (N - k) / (N - 1) for
+        # N items in k domain blocks.
+        expected = (len(ordered) - len(set(domains))) / (len(ordered) - 1)
+        assert temporal_correlation_index(ordered) == pytest.approx(expected)
+
+    def test_all_filler_corpus_reorders_cleanly(self):
+        corpus = _filler_corpus()
+        for correlation in (0.0, 1.0):
+            ordered = reorder_with_correlation(corpus, correlation, rng=1)
+            assert sorted(d.question for d in ordered) == sorted(
+                d.question for d in corpus.dialogues()
+            )
+
 
 class TestDialogueStream:
     def test_chunks_cover_everything(self):
@@ -88,3 +145,34 @@ class TestDialogueStream:
         stream = DialogueStream(_corpus())
         assert len(stream) == 30
         assert len(stream.dialogues()) == 30
+
+    def test_chunking_exact_multiple_of_interval(self):
+        # 30 dialogues at interval 10: three full chunks, no trailing stub.
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=10))
+        chunks = list(stream.chunks())
+        assert [len(chunk) for chunk in chunks] == [10, 10, 10]
+        assert stream.num_finetune_rounds() == 3
+        assert sum(len(chunk) for chunk in chunks) == len(stream)
+
+    def test_chunks_skip_at_boundary(self):
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=10))
+        chunks = list(stream.chunks(skip=10))
+        assert [len(chunk) for chunk in chunks] == [10, 10]
+        assert chunks[0][0].question == stream.dialogues()[10].question
+
+    def test_chunks_skip_mid_chunk_realigns(self):
+        # A mid-chunk cursor first yields the remainder of its chunk, keeping
+        # later chunk boundaries on the original interval grid.
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=10))
+        chunks = list(stream.chunks(skip=4))
+        assert [len(chunk) for chunk in chunks] == [6, 10, 10]
+
+    def test_chunks_skip_everything(self):
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=10))
+        assert list(stream.chunks(skip=30)) == []
+        assert list(stream.chunks(skip=35)) == []
+
+    def test_chunks_skip_negative_raises(self):
+        stream = DialogueStream(_corpus(), StreamConfig(finetune_interval=10))
+        with pytest.raises(ValueError):
+            list(stream.chunks(skip=-1))
