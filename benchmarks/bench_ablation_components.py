@@ -74,8 +74,10 @@ def test_embedding_source(benchmark, setup, source):
     texts = [dialogue.text() for dialogue in corpus.dialogues()[:32]]
 
     if source == "mean_hidden":
-        run = lambda: [llm.embed_text(text) for text in texts]
+        def run():
+            return [llm.embed_text(text) for text in texts]
     else:
-        run = lambda: [llm.token_embeddings(text) for text in texts]
+        def run():
+            return [llm.token_embeddings(text) for text in texts]
     vectors = benchmark(run)
     assert len(vectors) == 32

@@ -1,0 +1,168 @@
+"""Benchmark S1 — multi-tenant serving throughput and adapter-swap latency.
+
+Serves the same deterministic chat-only multi-user load twice over one
+shared pre-trained base model:
+
+* ``sequential`` — ``max_batch_size=1``: every request decodes alone, the
+  way a naive per-user loop would serve traffic;
+* ``batched`` — ``max_batch_size=8``: the scheduler groups each user's
+  queued requests into one padded ``respond_batch`` decode (the PR-1 fast
+  path) under a single adapter attach.
+
+Decoding is greedy, so both policies produce the identical transcript —
+the comparison isolates scheduling policy, not output quality.  Also
+measures adapter hot-swap latency with a cold store (adapter read from
+disk) and a warm cache (adapter already in memory).
+
+Writes ``BENCH_serving.json`` next to this file (consumed by
+``scripts/perf_check.py --serving``) and asserts the ≥2× batched-over-
+sequential speedup the serving layer is held to.  Run directly
+(``python benchmarks/bench_serving.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.experiments.presets import get_scale
+from repro.serve import LoadConfig, LoRAAdapterStore, RequestScheduler, generate_load
+from repro.serve.loadgen import build_serving_llm, user_ids
+from repro.serve.runner import make_session_manager, serving_generation_config
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+NUM_USERS = 4
+NUM_REQUESTS = 32
+BATCHED_MAX_BATCH = 8
+REPEATS = 3
+REQUIRED_SPEEDUP = 2.0
+
+
+def _serve_load(llm, scale, load, store_dir, max_batch_size) -> Dict[str, object]:
+    """One full scheduling pass over the load.
+
+    Returns the serving seconds (``scheduler.run()`` only — environment
+    construction and load generation are identical for both policies and
+    must not dilute the measured ratio), the report and the transcript.
+    """
+    store = LoRAAdapterStore(store_dir, cache_capacity=NUM_USERS)
+    manager = make_session_manager(llm, store, scale, seed=load.seed)
+    scheduler = RequestScheduler(
+        manager,
+        max_batch_size=max_batch_size,
+        generation=serving_generation_config(llm, scale),
+    )
+    scheduler.submit_many(generate_load(load))
+    start = time.perf_counter()
+    report = scheduler.run()
+    elapsed = time.perf_counter() - start
+    return {"seconds": elapsed, "report": report, "transcript": scheduler.transcript}
+
+
+def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
+    """Measure both scheduling policies; returns the JSON-ready summary."""
+    import tempfile
+
+    scale = get_scale("smoke", seed=0)
+    load = LoadConfig(
+        num_users=NUM_USERS,
+        num_requests=NUM_REQUESTS,
+        chat_only=True,
+        seed=0,
+    )
+    llm = build_serving_llm(scale, dataset=load.dataset, seed=load.seed)
+
+    best: Dict[str, float] = {"sequential": 0.0, "batched": 0.0}
+    transcripts: Dict[str, list] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as root:
+        # Warm both policies once, then interleave the timed rounds so
+        # transient machine load does not bias one policy; keep the best
+        # round per policy.
+        for round_index in range(repeats + 1):
+            for policy, max_batch in (("sequential", 1), ("batched", BATCHED_MAX_BATCH)):
+                store_dir = Path(root) / f"{policy}-{round_index}"
+                outcome = _serve_load(llm, scale, load, store_dir, max_batch)
+                transcripts[policy] = outcome["transcript"]
+                if round_index > 0:
+                    best[policy] = max(best[policy], NUM_REQUESTS / outcome["seconds"])
+
+        # Greedy decoding must make the two policies semantically identical;
+        # a divergence would mean batching changed the outputs, not just the
+        # speed.  Service *order* legitimately differs (batch size changes the
+        # round-robin interleaving), so compare per request id.
+        by_id = [
+            sorted(transcripts[policy], key=lambda record: record["request_id"])
+            for policy in ("sequential", "batched")
+        ]
+        if by_id[0] != by_id[1]:
+            raise AssertionError(
+                "sequential and batched scheduling produced different responses "
+                "for the same requests"
+            )
+
+        # Adapter-swap latency: cold (adapter file read from disk through a
+        # cache sized too small to hold it) vs warm (already cached).
+        swap_store = LoRAAdapterStore(Path(root) / "swap", cache_capacity=1)
+        swap_manager = make_session_manager(llm, swap_store, scale, seed=load.seed)
+        users = user_ids(NUM_USERS)
+        for user in users:
+            swap_manager.attach(user)  # create + persist every adapter
+        swap_store.flush()
+        cold_seconds = []
+        warm_seconds = []
+        for _ in range(8):
+            for user in users:  # capacity 1 → every attach misses and hits disk
+                cold_seconds.append(swap_manager.attach(user))
+        warm_store = LoRAAdapterStore(Path(root) / "swap", cache_capacity=NUM_USERS)
+        warm_manager = make_session_manager(llm, warm_store, scale, seed=load.seed)
+        for user in users:
+            warm_manager.attach(user)  # populate the cache
+        for _ in range(8):
+            for user in users:
+                warm_seconds.append(warm_manager.attach(user))
+
+    speedup = best["batched"] / best["sequential"]
+    summary = {
+        "benchmark": "serving_throughput",
+        "num_users": NUM_USERS,
+        "num_requests": NUM_REQUESTS,
+        "max_batch_size": BATCHED_MAX_BATCH,
+        "model": {
+            "dim": llm.config.dim,
+            "num_layers": llm.config.num_layers,
+            "num_heads": llm.config.num_heads,
+            "max_seq_len": llm.config.max_seq_len,
+        },
+        "requests_per_sec": {
+            "sequential": round(best["sequential"], 2),
+            "batched": round(best["batched"], 2),
+        },
+        "batched_speedup": round(speedup, 2),
+        "adapter_swap_ms": {
+            "cold": round(1e3 * sum(cold_seconds) / len(cold_seconds), 4),
+            "warm": round(1e3 * sum(warm_seconds) / len(warm_seconds), 4),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def test_serving_throughput():
+    """Batched multi-user decode must be ≥2× the sequential per-user loop."""
+    summary = run_benchmark()
+    rates = summary["requests_per_sec"]
+    print(
+        f"\n[Serving] req/sec — sequential {rates['sequential']}, "
+        f"batched {rates['batched']} ({summary['batched_speedup']}x); "
+        f"adapter swap cold {summary['adapter_swap_ms']['cold']} ms / "
+        f"warm {summary['adapter_swap_ms']['warm']} ms"
+    )
+    assert summary["batched_speedup"] >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2))

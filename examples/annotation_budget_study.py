@@ -9,10 +9,9 @@ set, and what happens when the user only answers a fraction of them.
 Run with ``python examples/annotation_budget_study.py``.
 """
 
-from repro.core import AnnotationOracle, FrameworkConfig, PersonalizationFramework, SynthesisConfig
+from repro.core import AnnotationOracle, PersonalizationFramework
 from repro.experiments import prepare_environment, smoke_scale
 from repro.experiments.common import framework_config_for
-from repro.llm import FineTuneConfig
 
 
 def main() -> None:

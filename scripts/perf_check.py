@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Decode-throughput regression gate.
+"""Decode- and serving-throughput regression gate.
 
 Runs the smoke-scale generation benchmark (``benchmarks/bench_generation.py``)
 and compares the measured tokens/sec against the committed baseline
@@ -7,9 +7,16 @@ and compares the measured tokens/sec against the committed baseline
 decode path regresses by more than the allowed fraction (default 20%), so CI
 catches changes that quietly slow the fast inference path down.
 
+With ``--serving`` the multi-tenant serving benchmark
+(``benchmarks/bench_serving.py``) runs too, and the gate additionally
+enforces the machine-independent structural guarantee of the serving layer:
+batched multi-user decode must stay at least 2x ahead of the sequential
+per-user loop.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
+                                                [--serving] [--ratio-only]
 
 ``--update`` rewrites the baseline from the current run (use after an
 intentional perf change, on the machine that produces the committed numbers).
@@ -94,6 +101,11 @@ def main() -> int:
              "enforce only the kv-cached-over-full-forward speedup ratio "
              "(use on machines slower than the baseline machine)",
     )
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="also run the multi-tenant serving benchmark and enforce the "
+             "2x batched-over-sequential serving speedup",
+    )
     args = parser.parse_args()
 
     # Validate the baseline *before* spending a minute on the benchmark, and
@@ -153,10 +165,26 @@ def main() -> int:
     if kv_speedup < 5.0:
         failures.append("kv_cached_speedup")
 
+    if args.serving:
+        from bench_serving import REQUIRED_SPEEDUP, run_benchmark as run_serving_benchmark
+
+        serving = run_serving_benchmark()
+        rates = serving["requests_per_sec"]
+        speedup = float(serving["batched_speedup"])
+        print(
+            f"serving req/sec: sequential {rates['sequential']}, "
+            f"batched {rates['batched']} "
+            f"({speedup:.2f}x, required >= {REQUIRED_SPEEDUP:.1f}x); "
+            f"adapter swap cold {serving['adapter_swap_ms']['cold']} ms / "
+            f"warm {serving['adapter_swap_ms']['warm']} ms"
+        )
+        if speedup < REQUIRED_SPEEDUP:
+            failures.append("serving_batched_speedup")
+
     if failures:
-        print(f"FAIL: decode throughput regressed: {', '.join(failures)}")
+        print(f"FAIL: throughput regressed: {', '.join(failures)}")
         return EXIT_REGRESSION
-    print("PASS: decode throughput within tolerance")
+    print("PASS: throughput within tolerance")
     return 0
 
 

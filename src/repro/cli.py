@@ -117,6 +117,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered experiments",
         description="List every experiment the `run` subcommand accepts.",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a synthetic multi-user load over one shared base model",
+        description=(
+            "Run the multi-tenant serving smoke: N users share one frozen base "
+            "model, each with a persisted LoRA adapter; a deterministic "
+            "synthetic load of chat + personalize requests is scheduled in "
+            "same-adapter batches.  Prints throughput, adapter-swap and "
+            "cache statistics plus the transcript digest; writes "
+            "serve_result.json and the adapter files under --out."
+        ),
+    )
+    serve.add_argument("--users", type=int, default=8, help="number of tenants (default 8)")
+    serve.add_argument(
+        "--requests", type=int, default=64, help="total requests in the load (default 64)"
+    )
+    serve.add_argument(
+        "--scale",
+        default=None,
+        help="scale preset: smoke / small / paper (default: $REPRO_SCALE or small)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="load + model seed (default 0)")
+    serve.add_argument(
+        "--dataset", default="meddialog", help="dataset analogue for the load (default meddialog)"
+    )
+    serve.add_argument(
+        "--personalize-every",
+        type=int,
+        default=8,
+        help="every k-th request of a user is a personalize/fine-tune job (default 8)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="max same-adapter chat requests decoded in one batch (default 8)",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4,
+        help="adapters held in the in-memory LRU cache (default 4)",
+    )
+    serve.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="run directory for serve_result.json + adapter files; any adapters "
+        "from a previous run there are reset so a rerun is deterministic "
+        "(default runs/serve-<scale>-seed<seed>; use --no-artifacts to skip)",
+    )
+    serve.add_argument(
+        "--no-artifacts",
+        action="store_true",
+        help="do not write any files; print the report only",
+    )
+    serve.add_argument("--quiet", action="store_true", help="suppress progress logging")
     return parser
 
 
@@ -195,6 +253,94 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        enable_console_logging()
+    if args.no_artifacts and args.out is not None:
+        print(
+            "error: --out and --no-artifacts contradict each other "
+            "(--no-artifacts writes nothing, including adapter files)",
+            file=sys.stderr,
+        )
+        return 2
+
+    import json
+
+    from repro.experiments.presets import get_scale
+    from repro.serve import LoadConfig, run_serve
+
+    scale = get_scale(args.scale, seed=args.seed)
+    load = LoadConfig(
+        num_users=args.users,
+        num_requests=args.requests,
+        dataset=args.dataset,
+        personalize_every=args.personalize_every,
+        seed=args.seed,
+    )
+    out_dir = args.out
+    if out_dir is None and not args.no_artifacts:
+        out_dir = f"runs/serve-{scale.name}-seed{args.seed}"
+    adapter_dir = None
+    if out_dir is not None:
+        import shutil
+        from pathlib import Path
+
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        adapter_dir = out_path / "adapters"
+        # Each serve run starts from blank adapters: leftovers from a previous
+        # run into the same --out would silently seed users with trained
+        # weights and break the fixed-seed → fixed-digest guarantee.
+        if adapter_dir.exists():
+            shutil.rmtree(adapter_dir)
+
+    outcome = run_serve(
+        load,
+        scale=scale,
+        adapter_dir=adapter_dir,
+        cache_capacity=args.cache_capacity,
+        max_batch_size=args.max_batch,
+    )
+    report = outcome.report
+    print(f"== multi-tenant serve (scale={scale.name}, seed={args.seed}) ==")
+    print(
+        f"served {report.total_requests} requests "
+        f"({report.chat_requests} chat / {report.personalize_requests} personalize) "
+        f"for {report.num_users} users in {report.num_turns} turns"
+    )
+    print(
+        f"throughput: {report.requests_per_sec:.2f} req/s "
+        f"({report.elapsed_seconds:.1f}s total)"
+    )
+    print(
+        f"adapter swaps: {report.swap['count']} "
+        f"(mean {report.swap['mean_ms']:.2f} ms, max {report.swap['max_ms']:.2f} ms)"
+    )
+    print(
+        f"adapter cache: hit rate {report.store['hit_rate']:.2f} "
+        f"({report.store['evictions']} evictions, "
+        f"{report.store['disk_loads']} disk loads, "
+        f"{report.store['disk_writes']} disk writes)"
+    )
+    print(f"transcript digest: {report.transcript_digest}")
+    if out_dir is not None:
+        result_path = out_path / "serve_result.json"
+        payload = report.to_dict()
+        payload["scale"] = scale.name
+        payload["seed"] = args.seed
+        payload["load"] = {
+            "num_users": load.num_users,
+            "num_requests": load.num_requests,
+            "dataset": load.dataset,
+            "personalize_every": load.personalize_every,
+        }
+        payload["transcript"] = outcome.transcript
+        result_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"result: {result_path}")
+        print(f"adapters: {adapter_dir}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro``, ``python -m repro`` and the tests."""
     parser = build_parser()
@@ -203,6 +349,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "serve":
+        return _command_serve(args)
     parser.print_help()
     return 0
 

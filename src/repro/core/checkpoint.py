@@ -35,6 +35,7 @@ in ``tests/test_engine_checkpoint.py``.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
@@ -43,6 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import PipelineEngine
 
 CHECKPOINT_FORMAT_VERSION = 1
+
+
+def atomic_pickle_dump(path: Union[str, Path], payload: object) -> Path:
+    """Pickle ``payload`` to ``path`` atomically (write temp file, then rename).
+
+    A reader never observes a half-written file: either the old content is
+    still there or the new content is complete.  Used for every checkpoint
+    section and for each adapter file in the serving layer's
+    :class:`~repro.serve.adapter_store.LoRAAdapterStore`.
+    """
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    with temporary.open("wb") as handle:
+        pickle.dump(payload, handle)
+    os.replace(temporary, path)
+    return path
 
 MANIFEST_FILE = "manifest.json"
 
@@ -99,8 +116,7 @@ class CheckpointManager:
         if self.manifest_path.exists():
             self.manifest_path.unlink()
         for section, filename in _SECTION_FILES.items():
-            with (self.directory / filename).open("wb") as handle:
-                pickle.dump(state[section], handle)
+            atomic_pickle_dump(self.directory / filename, state[section])
         manifest = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "selector": engine.selector.name,

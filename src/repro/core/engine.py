@@ -336,14 +336,16 @@ class PipelineEngine:
             report = self.finetuner.finetune(list(training_data))
         # Fine-tuning changed the embedding function; cached per-text
         # embeddings no longer reflect the model.
-        self._invalidate_embedding_caches()
+        self.invalidate_embedding_caches()
         return report
 
-    def _invalidate_embedding_caches(self) -> None:
+    def invalidate_embedding_caches(self) -> None:
         """Drop every embedding memo cache after the model weights changed.
 
         An injected selector may carry its own scorer, so that one is
-        invalidated too.
+        invalidated too.  Called internally after a fine-tuning round and by
+        the multi-tenant serving layer after an adapter hot-swap — from the
+        engine's perspective both are "the weights under my scorer changed".
         """
         self.scorer.invalidate_embeddings()
         selector_scorer = getattr(self.selector, "scorer", None)
@@ -586,4 +588,4 @@ class PipelineEngine:
         # The restored weights differ from whatever the scorer(s) cached
         # embeddings under; stale vectors must not survive the restore (this
         # covers an injected selector's own scorer too).
-        self._invalidate_embedding_caches()
+        self.invalidate_embedding_caches()

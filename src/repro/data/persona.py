@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.data.lexicons import LexiconCollection
 from repro.tokenizer.word_tokenizer import split_words
 from repro.utils.rng import as_generator

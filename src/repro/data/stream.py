@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
-import numpy as np
-
 from repro.data.dialogue import DialogueCorpus, DialogueSet
 from repro.utils.config import require_in_unit_interval, require_positive
 from repro.utils.rng import as_generator

@@ -194,7 +194,11 @@ class LoRAFineTuner:
             build_training_example(self.llm, dialogue, self.config.max_seq_len)
             for dialogue in dialogues
         ]
-        examples = [example for example in examples if any(l != IGNORE_INDEX for l in example[1])]
+        examples = [
+            example
+            for example in examples
+            if any(label != IGNORE_INDEX for label in example[1])
+        ]
         if not examples:
             return FineTuneReport(0, 0, [], 0.0, 0.0)
 

@@ -15,12 +15,19 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.llm.generation import GenerationConfig, generate_tokens, generate_tokens_batch
-from repro.nn.lora import LoRAConfig, inject_lora, lora_layers, merge_lora
+from repro.nn.lora import (
+    LoRAConfig,
+    inject_lora,
+    load_lora_state_dict,
+    lora_layers,
+    lora_state_dict,
+    merge_lora,
+)
 from repro.nn.transformer import TransformerConfig, TransformerLM
 from repro.nn.layers import Dropout
 from repro.tokenizer.word_tokenizer import WordTokenizer
@@ -240,6 +247,34 @@ class OnDeviceLLM:
     def has_lora(self) -> bool:
         """Whether LoRA adapters are currently injected."""
         return bool(lora_layers(self.model))
+
+    @property
+    def lora_config(self) -> Optional[LoRAConfig]:
+        """The LoRA configuration of the injected adapters (None before add_lora)."""
+        return self._lora_config
+
+    def export_adapter_state(self) -> Dict[str, np.ndarray]:
+        """Adapter-only snapshot of the currently attached LoRA weights.
+
+        This is the per-user artefact the multi-tenant serving layer persists:
+        the frozen base transformer stays in place and only the A/B low-rank
+        matrices travel.  Raises when no adapters are injected.
+        """
+        if not self.has_lora():
+            raise RuntimeError("no LoRA adapters injected; call add_lora() first")
+        return lora_state_dict(self.model)
+
+    def load_adapter_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Hot-swap the attached LoRA weights without touching the base model.
+
+        The counterpart of :meth:`export_adapter_state`: loads an adapter-only
+        state dict into the already-injected LoRA layers.  The transformer, its
+        tokenizer and the generation RNG are untouched, so swapping the active
+        user is O(adapter) rather than O(model).
+        """
+        if not self.has_lora():
+            raise RuntimeError("no LoRA adapters injected; call add_lora() first")
+        load_lora_state_dict(self.model, state)
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.data.dialogue import DialogueCorpus
 from repro.data.persona import UserPersona, generic_model_response
 from repro.llm.model import OnDeviceLLM, OnDeviceLLMConfig
 from repro.nn.functional import cross_entropy

@@ -14,7 +14,7 @@ zero-initialised so the adapter starts as an exact no-op.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -186,6 +186,22 @@ def lora_state_dict(model: Module) -> Dict[str, np.ndarray]:
     return state
 
 
+def clone_lora_state(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """A deep copy of an adapter state dict (arrays owned by the copy).
+
+    The serving layer hands adapter states between the in-memory cache, the
+    live model and the on-disk store; copying at the boundary keeps each
+    owner's arrays isolated so a later fine-tuning round cannot silently
+    mutate a cached snapshot.
+    """
+    return {key: np.array(value, dtype=np.float32, copy=True) for key, value in state.items()}
+
+
+def lora_state_nbytes(state: Dict[str, np.ndarray]) -> int:
+    """Total payload bytes of an adapter state dict (cache-budget accounting)."""
+    return int(sum(np.asarray(value).nbytes for value in state.values()))
+
+
 def load_lora_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
     """Load an adapter-only state dict produced by :func:`lora_state_dict`."""
     layers = lora_layers(model)
@@ -196,9 +212,22 @@ def load_lora_state_dict(model: Module, state: Dict[str, np.ndarray]) -> None:
         raise ValueError(
             f"LoRA state dict keys {sorted(state)} do not match expected {sorted(expected_keys)}"
         )
+    # Validate every shape before assigning anything, so an incompatible
+    # state (saved under a different LoRA rank or model size) fails cleanly
+    # instead of half-loading.
+    converted = []
     for index, layer in enumerate(layers):
-        layer.lora_a.data = np.asarray(state[f"adapter.{index}.lora_a"], dtype=np.float32).copy()
-        layer.lora_b.data = np.asarray(state[f"adapter.{index}.lora_b"], dtype=np.float32).copy()
+        for name, target in (("lora_a", layer.lora_a), ("lora_b", layer.lora_b)):
+            value = np.asarray(state[f"adapter.{index}.{name}"], dtype=np.float32)
+            if value.shape != target.data.shape:
+                raise ValueError(
+                    f"adapter.{index}.{name} has shape {value.shape} but the "
+                    f"model's adapter expects {target.data.shape} — the state "
+                    "was saved under a different LoRA rank or model size"
+                )
+            converted.append((target, value))
+    for target, value in converted:
+        target.data = value.copy()
 
 
 def merge_lora(model: Module) -> int:

@@ -9,7 +9,7 @@ applies in the buffer-size experiment (Table 3).
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,63 @@
+"""Multi-tenant serving: shared base model + per-user LoRA adapters.
+
+The deployment layer the source paper motivates: one frozen base model
+serves many users, each owning only a lightweight LoRA adapter.  The
+subsystem splits into four parts —
+
+* :mod:`repro.serve.adapter_store` — per-user adapter persistence behind a
+  bounded write-back LRU cache (:class:`LoRAAdapterStore`);
+* :mod:`repro.serve.session` — adapter hot-swapping onto the shared model
+  and per-user personalization sessions (:class:`SessionManager`);
+* :mod:`repro.serve.scheduler` — round-robin, same-adapter-batched request
+  scheduling (:class:`RequestScheduler`);
+* :mod:`repro.serve.loadgen` / :mod:`repro.serve.runner` — deterministic
+  synthetic workloads and the end-to-end ``repro serve`` entry point.
+"""
+
+from repro.serve.adapter_store import (
+    AdapterStoreError,
+    LoRAAdapterStore,
+    StoreStats,
+    validate_user_id,
+)
+from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load, user_ids
+from repro.serve.runner import ServeOutcome, make_session_manager, run_serve
+from repro.serve.scheduler import (
+    ChatRequest,
+    PersonalizeRequest,
+    RequestScheduler,
+    ServeReport,
+    ServeTurn,
+    transcript_digest,
+)
+from repro.serve.session import (
+    PersonalizeOutcome,
+    SessionManager,
+    UserSession,
+    serving_framework_config,
+    user_seed,
+)
+
+__all__ = [
+    "AdapterStoreError",
+    "ChatRequest",
+    "LoRAAdapterStore",
+    "LoadConfig",
+    "PersonalizeOutcome",
+    "PersonalizeRequest",
+    "RequestScheduler",
+    "ServeOutcome",
+    "ServeReport",
+    "ServeTurn",
+    "SessionManager",
+    "StoreStats",
+    "UserSession",
+    "build_serving_llm",
+    "generate_load",
+    "make_session_manager",
+    "run_serve",
+    "serving_framework_config",
+    "transcript_digest",
+    "user_ids",
+    "user_seed",
+]

@@ -1,0 +1,285 @@
+"""Per-user LoRA adapter persistence with an LRU in-memory cache.
+
+The paper's deployment story is one shared frozen base model multiplexed
+across many users, each owning only a lightweight LoRA adapter.  This module
+is the storage half of that story: :class:`LoRAAdapterStore` keeps every
+user's adapter state dict (the ``lora_a`` / ``lora_b`` matrices produced by
+:func:`repro.nn.lora.lora_state_dict`) on disk, with a bounded write-back LRU
+cache in front so the hot users' adapters never touch the filesystem.
+
+Disk layout (one file per user, written atomically)::
+
+    <directory>/
+        <user_id>.adapter.pkl     # {"format_version": 1, "user_id": ..., "state": {...}}
+
+The cache budget is configurable both as an entry count and as a byte budget;
+eviction flushes dirty entries to disk first, so an evicted adapter reloaded
+later is bit-identical to the evicted one (proven in
+``tests/test_serve_store.py``).  All cache traffic is counted in
+:class:`StoreStats` so the scheduler's serving report can expose hit rates
+and eviction pressure.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.checkpoint import atomic_pickle_dump
+from repro.nn.lora import clone_lora_state, lora_state_nbytes
+
+ADAPTER_FORMAT_VERSION = 1
+
+ADAPTER_SUFFIX = ".adapter.pkl"
+
+#: User ids become file names; keep them to a safe, portable alphabet.
+_USER_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class AdapterStoreError(RuntimeError):
+    """An adapter file is missing, corrupt or the user id is unusable."""
+
+
+def validate_user_id(user_id: str) -> str:
+    """Check that ``user_id`` is non-empty and filesystem-safe; returns it."""
+    if not isinstance(user_id, str) or not _USER_ID_PATTERN.match(user_id):
+        raise AdapterStoreError(
+            f"invalid user id {user_id!r}: expected 1-64 chars from "
+            "[A-Za-z0-9._-] starting with an alphanumeric"
+        )
+    return user_id
+
+
+@dataclass
+class StoreStats:
+    """Cache / disk traffic counters of one :class:`LoRAAdapterStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_loads: int = 0
+    disk_writes: int = 0
+    deletes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready view (used by the serving report)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_loads": self.disk_loads,
+            "disk_writes": self.disk_writes,
+            "deletes": self.deletes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _CacheEntry:
+    """One cached adapter: the state arrays plus write-back bookkeeping."""
+
+    state: Dict[str, np.ndarray]
+    nbytes: int
+    dirty: bool = field(default=False)
+
+
+class LoRAAdapterStore:
+    """Persists per-user adapter weights behind a bounded write-back LRU cache.
+
+    ``cache_capacity`` bounds the number of adapters held in memory;
+    ``cache_max_bytes`` additionally bounds their total payload size (either
+    may be ``None`` for "unbounded" on that axis).  ``put`` marks entries
+    dirty and defers the disk write until the entry is evicted or
+    :meth:`flush` / :meth:`close` runs — the store never loses an update
+    because eviction always flushes first.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        cache_capacity: Optional[int] = 4,
+        cache_max_bytes: Optional[int] = None,
+    ) -> None:
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1 or None, got {cache_capacity}")
+        if cache_max_bytes is not None and cache_max_bytes < 1:
+            raise ValueError(f"cache_max_bytes must be >= 1 or None, got {cache_max_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.cache_capacity = cache_capacity
+        self.cache_max_bytes = cache_max_bytes
+        self.stats = StoreStats()
+        self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # paths and inventory
+    # ------------------------------------------------------------------ #
+    def path_for(self, user_id: str) -> Path:
+        """The on-disk adapter file for ``user_id``."""
+        return self.directory / f"{validate_user_id(user_id)}{ADAPTER_SUFFIX}"
+
+    def users(self) -> List[str]:
+        """Every known user (on disk or cached), sorted."""
+        on_disk = {
+            path.name[: -len(ADAPTER_SUFFIX)]
+            for path in self.directory.glob(f"*{ADAPTER_SUFFIX}")
+        }
+        return sorted(on_disk | set(self._cache))
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._cache or self.path_for(user_id).is_file()
+
+    def __len__(self) -> int:
+        return len(self.users())
+
+    @property
+    def cached_users(self) -> List[str]:
+        """Users currently in memory, least- to most-recently used."""
+        return list(self._cache)
+
+    @property
+    def cached_nbytes(self) -> int:
+        """Total payload bytes of the in-memory cache."""
+        return sum(entry.nbytes for entry in self._cache.values())
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+    def put(self, user_id: str, state: Dict[str, np.ndarray]) -> None:
+        """Store/overwrite a user's adapter (write-back: disk write deferred).
+
+        The arrays are deep-copied at the boundary, so the caller (typically
+        the live model about to fine-tune further) cannot mutate the stored
+        snapshot afterwards.
+        """
+        validate_user_id(user_id)
+        copied = clone_lora_state(state)
+        entry = _CacheEntry(state=copied, nbytes=lora_state_nbytes(copied), dirty=True)
+        self._cache[user_id] = entry
+        self._cache.move_to_end(user_id)
+        self._shrink_to_budget()
+
+    def get(self, user_id: str) -> Dict[str, np.ndarray]:
+        """A copy of the user's adapter state, from cache or disk.
+
+        Raises :class:`KeyError` for an unknown user — callers that want
+        "new users start blank" semantics handle that case themselves (see
+        :class:`~repro.serve.session.SessionManager`).
+        """
+        validate_user_id(user_id)
+        entry = self._cache.get(user_id)
+        if entry is not None:
+            self.stats.hits += 1
+            self._cache.move_to_end(user_id)
+            return clone_lora_state(entry.state)
+        self.stats.misses += 1
+        state = self._read_from_disk(user_id)
+        self._cache[user_id] = _CacheEntry(
+            state=state, nbytes=lora_state_nbytes(state), dirty=False
+        )
+        self._shrink_to_budget()
+        return clone_lora_state(state)
+
+    def delete(self, user_id: str) -> bool:
+        """Forget a user entirely (cache and disk); returns whether one existed."""
+        validate_user_id(user_id)
+        existed = self._cache.pop(user_id, None) is not None
+        path = self.path_for(user_id)
+        if path.is_file():
+            path.unlink()
+            existed = True
+        if existed:
+            self.stats.deletes += 1
+        return existed
+
+    def flush(self, user_id: Optional[str] = None) -> int:
+        """Write dirty cached adapters to disk; returns the number written.
+
+        With ``user_id`` given, only that user's entry is flushed.
+        """
+        targets = [user_id] if user_id is not None else list(self._cache)
+        written = 0
+        for target in targets:
+            entry = self._cache.get(target)
+            if entry is not None and entry.dirty:
+                self._write_to_disk(target, entry.state)
+                entry.dirty = False
+                written += 1
+        return written
+
+    def close(self) -> None:
+        """Flush every dirty entry and drop the in-memory cache."""
+        self.flush()
+        self._cache.clear()
+
+    def __enter__(self) -> "LoRAAdapterStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _shrink_to_budget(self) -> None:
+        """Evict least-recently-used entries until both budgets are met."""
+        while self._over_budget():
+            evicted_user, entry = self._cache.popitem(last=False)
+            if entry.dirty:
+                self._write_to_disk(evicted_user, entry.state)
+            self.stats.evictions += 1
+
+    def _over_budget(self) -> bool:
+        if len(self._cache) <= 1:
+            # The single most-recent entry always stays resident, even when it
+            # alone exceeds the byte budget — evicting it would thrash.
+            return False
+        if self.cache_capacity is not None and len(self._cache) > self.cache_capacity:
+            return True
+        if self.cache_max_bytes is not None and self.cached_nbytes > self.cache_max_bytes:
+            return True
+        return False
+
+    def _write_to_disk(self, user_id: str, state: Dict[str, np.ndarray]) -> None:
+        payload = {
+            "format_version": ADAPTER_FORMAT_VERSION,
+            "user_id": user_id,
+            "state": state,
+        }
+        atomic_pickle_dump(self.path_for(user_id), payload)
+        self.stats.disk_writes += 1
+
+    def _read_from_disk(self, user_id: str) -> Dict[str, np.ndarray]:
+        path = self.path_for(user_id)
+        if not path.is_file():
+            raise KeyError(f"no adapter stored for user {user_id!r} in {self.directory}")
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.PickleError, EOFError, ImportError, IndexError, ValueError) as error:
+            raise AdapterStoreError(f"corrupt adapter file {path}: {error}") from error
+        if not isinstance(payload, dict) or "state" not in payload:
+            raise AdapterStoreError(f"corrupt adapter file {path}: missing 'state'")
+        version = payload.get("format_version")
+        if version != ADAPTER_FORMAT_VERSION:
+            raise AdapterStoreError(
+                f"adapter file {path} has format version {version!r} "
+                f"(expected {ADAPTER_FORMAT_VERSION})"
+            )
+        self.stats.disk_loads += 1
+        return {
+            key: np.asarray(value, dtype=np.float32)
+            for key, value in payload["state"].items()
+        }

@@ -1,0 +1,135 @@
+"""End-to-end serving runs: build the environment, serve a load, report.
+
+This is the glue the ``repro serve`` CLI, the serving benchmark and the
+tests share: one call builds the shared pre-trained base model, the adapter
+store, the session manager and the scheduler, generates the deterministic
+synthetic load and serves it.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.data.lexicons import LexiconCollection, builtin_lexicons
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.llm.generation import GenerationConfig
+from repro.llm.model import OnDeviceLLM
+from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load
+from repro.serve.scheduler import RequestScheduler, ServeReport
+from repro.serve.session import SessionManager, serving_framework_config
+
+
+@dataclass
+class ServeOutcome:
+    """Everything one serving run produced (report + full transcript)."""
+
+    report: ServeReport
+    transcript: List[dict] = field(default_factory=list)
+    adapter_dir: Optional[Path] = None
+
+    @property
+    def digest(self) -> str:
+        """The transcript digest (determinism fingerprint of the run)."""
+        return self.report.transcript_digest
+
+
+def make_session_manager(
+    llm: OnDeviceLLM,
+    store: LoRAAdapterStore,
+    scale: ExperimentScale,
+    seed: int = 0,
+    lexicons: Optional[LexiconCollection] = None,
+) -> SessionManager:
+    """A session manager whose per-user frameworks follow the scale preset.
+
+    Serving-time fine-tuning rounds are capped at 4 epochs — they run between
+    user turns, where the scale's full offline epoch budget would stall the
+    queue.
+    """
+
+    def framework_config(user_seed: int):
+        return serving_framework_config(
+            seed=user_seed,
+            lora=llm.lora_config,
+            buffer_bins=scale.buffer_bins,
+            finetune_epochs=min(4, scale.finetune_epochs),
+            finetune_batch_size=scale.finetune_batch_size,
+            learning_rate=scale.learning_rate,
+            synthesis_per_item=scale.synthesis_per_item,
+        )
+
+    return SessionManager(
+        llm,
+        store,
+        lexicons=lexicons or builtin_lexicons(),
+        framework_config_factory=framework_config,
+        seed=seed,
+    )
+
+
+def serving_generation_config(llm: OnDeviceLLM, scale: ExperimentScale) -> GenerationConfig:
+    """The chat decoding configuration of a serving run (scale-derived)."""
+    return GenerationConfig(
+        max_new_tokens=scale.eval_max_new_tokens,
+        greedy=scale.eval_greedy,
+        stop_token_id=llm.tokenizer.vocabulary.eos_id,
+    )
+
+
+def run_serve(
+    load: LoadConfig,
+    scale: Optional[ExperimentScale] = None,
+    adapter_dir: Optional[Union[str, Path]] = None,
+    cache_capacity: Optional[int] = 4,
+    max_batch_size: int = 8,
+    lexicons: Optional[LexiconCollection] = None,
+    pretrain_epochs: Optional[int] = None,
+    llm: Optional[OnDeviceLLM] = None,
+) -> ServeOutcome:
+    """Serve one synthetic workload end to end; returns the outcome.
+
+    With ``adapter_dir`` unset the adapter files live in a temporary
+    directory that is discarded after the run (the report keeps the store
+    statistics).  Pass ``llm`` to reuse an already-built base model — the
+    benchmark does this to compare scheduling policies on identical weights.
+    """
+    scale = scale or get_scale("smoke", seed=load.seed)
+    lexicons = lexicons or builtin_lexicons()
+    if llm is None:
+        llm = build_serving_llm(
+            scale,
+            dataset=load.dataset,
+            seed=load.seed,
+            lexicons=lexicons,
+            pretrain_epochs=pretrain_epochs,
+        )
+
+    temporary: Optional[tempfile.TemporaryDirectory] = None
+    if adapter_dir is None:
+        temporary = tempfile.TemporaryDirectory(prefix="repro-adapters-")
+        store_dir = Path(temporary.name)
+    else:
+        store_dir = Path(adapter_dir)
+    try:
+        store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity)
+        manager = make_session_manager(llm, store, scale, seed=load.seed, lexicons=lexicons)
+        scheduler = RequestScheduler(
+            manager,
+            max_batch_size=max_batch_size,
+            generation=serving_generation_config(llm, scale),
+        )
+        scheduler.submit_many(generate_load(load, lexicons=lexicons))
+        report = scheduler.run()
+        manager.flush()
+        return ServeOutcome(
+            report=report,
+            transcript=list(scheduler.transcript),
+            adapter_dir=None if temporary is not None else store_dir,
+        )
+    finally:
+        if temporary is not None:
+            temporary.cleanup()

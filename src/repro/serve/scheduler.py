@@ -1,0 +1,311 @@
+"""Cross-user request scheduling over the shared base model.
+
+The scheduler multiplexes many users' requests over one
+:class:`~repro.serve.session.SessionManager`.  Two request kinds exist:
+
+* :class:`ChatRequest` — answer one question with the user's adapter
+  attached; consecutive queued chat requests of the *same* user are grouped
+  into one padded :meth:`~repro.llm.model.OnDeviceLLM.respond_batch` decode
+  (the PR-1 fast path), amortizing every transformer forward across the
+  group and avoiding adapter swaps inside the group;
+* :class:`PersonalizeRequest` — feed dialogue sets through the PR-2 pipeline
+  stages and run one LoRA fine-tuning round on the user's adapter.
+
+Scheduling is strict round-robin over users in order of first submission:
+each turn serves at most one batch of one user, then moves to the next user
+with pending work.  That bounds how long any user waits behind another
+user's fine-tune job (fairness is asserted in
+``tests/test_serve_scheduler.py``) while still letting same-adapter batches
+form naturally from each user's queue.
+
+Everything is deterministic for a fixed seed: the transcript (request ids,
+questions, responses, personalization outcomes — no wall-clock fields) is
+hashed into a digest, and two runs from identical seeds produce identical
+digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.data.dialogue import DialogueSet
+from repro.llm.generation import GenerationConfig
+from repro.serve.session import SessionManager
+
+CHAT = "chat"
+PERSONALIZE = "personalize"
+
+
+@dataclass(frozen=True)
+class ChatRequest:
+    """One user question to answer with the user's adapter attached."""
+
+    user_id: str
+    question: str
+    request_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PersonalizeRequest:
+    """A batch of dialogue sets to select from and fine-tune on."""
+
+    user_id: str
+    dialogues: Tuple[DialogueSet, ...]
+    finetune: bool = True
+    request_id: Optional[int] = None
+
+
+Request = Union[ChatRequest, PersonalizeRequest]
+
+
+@dataclass
+class ServeTurn:
+    """One scheduling turn: a same-adapter batch served for one user."""
+
+    index: int
+    user_id: str
+    kind: str
+    request_ids: List[int]
+    batch_size: int
+    swap_seconds: float
+    seconds: float
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one :meth:`RequestScheduler.run`."""
+
+    total_requests: int
+    chat_requests: int
+    personalize_requests: int
+    num_turns: int
+    num_users: int
+    elapsed_seconds: float
+    requests_per_sec: float
+    transcript_digest: str
+    swap: Dict[str, float] = field(default_factory=dict)
+    store: Dict[str, float] = field(default_factory=dict)
+    per_user: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    turn_users: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (written as ``serve_result.json`` by the CLI)."""
+        return {
+            "total_requests": self.total_requests,
+            "chat_requests": self.chat_requests,
+            "personalize_requests": self.personalize_requests,
+            "num_turns": self.num_turns,
+            "num_users": self.num_users,
+            "elapsed_seconds": self.elapsed_seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "transcript_digest": self.transcript_digest,
+            "swap": dict(self.swap),
+            "store": dict(self.store),
+            "per_user": {user: dict(counts) for user, counts in self.per_user.items()},
+            "turn_users": list(self.turn_users),
+        }
+
+
+def transcript_digest(transcript: Sequence[dict]) -> str:
+    """SHA-256 over the canonical JSON encoding of a serving transcript."""
+    encoded = json.dumps(list(transcript), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+class RequestScheduler:
+    """Queues requests per user and serves them in round-robin batches."""
+
+    def __init__(
+        self,
+        sessions: SessionManager,
+        max_batch_size: int = 8,
+        generation: Optional[GenerationConfig] = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.sessions = sessions
+        self.max_batch_size = max_batch_size
+        self.generation = generation
+        self._queues: Dict[str, Deque[Request]] = {}
+        self._ring: List[str] = []  # users with pending work, in arrival order
+        self._ring_members: set = set()
+        self._cursor = 0
+        self._next_request_id = 0
+        self.transcript: List[dict] = []
+        self.turns: List[ServeTurn] = []
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> Request:
+        """Enqueue one request; assigns a sequential id when none is set."""
+        if not isinstance(request, (ChatRequest, PersonalizeRequest)):
+            raise TypeError(f"unsupported request type {type(request)!r}")
+        if request.request_id is None:
+            request = replace(request, request_id=self._next_request_id)
+        self._next_request_id = max(self._next_request_id, request.request_id + 1)
+        queue = self._queues.get(request.user_id)
+        if queue is None:
+            queue = deque()
+            self._queues[request.user_id] = queue
+        # A user whose queue drained earlier was dropped from the ring; a new
+        # request re-enters them at the back (fresh arrival order).
+        if request.user_id not in self._ring_members:
+            self._ring.append(request.user_id)
+            self._ring_members.add(request.user_id)
+        queue.append(request)
+        return request
+
+    def submit_many(self, requests: Sequence[Request]) -> List[Request]:
+        """Enqueue several requests in order; returns them with ids assigned."""
+        return [self.submit(request) for request in requests]
+
+    @property
+    def pending_count(self) -> int:
+        """Requests currently queued."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    # ------------------------------------------------------------------ #
+    # the serving loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> ServeReport:
+        """Serve every queued request; returns the serving report.
+
+        The loop is synchronous and deterministic: users are visited in
+        round-robin order, one same-adapter batch per visit.  Requests
+        submitted from within the loop (not currently done by any caller)
+        would simply join their user's queue.
+        """
+        start = time.perf_counter()
+        turns_start = len(self.turns)
+        transcript_start = len(self.transcript)
+        store_before = self.sessions.store.stats.to_dict()
+        chat_count = 0
+        personalize_count = 0
+        while self._ring:
+            if self._cursor >= len(self._ring):
+                self._cursor = 0
+            user = self._ring[self._cursor]
+            queue = self._queues[user]
+            if not queue:
+                del self._ring[self._cursor]
+                self._ring_members.discard(user)
+                continue
+            turn_start = time.perf_counter()
+            swap_seconds = self.sessions.attach(user)
+            if isinstance(queue[0], ChatRequest):
+                batch: List[ChatRequest] = []
+                while (
+                    queue
+                    and isinstance(queue[0], ChatRequest)
+                    and len(batch) < self.max_batch_size
+                ):
+                    batch.append(queue.popleft())
+                self._serve_chat_batch(user, batch)
+                kind = CHAT
+                request_ids = [request.request_id for request in batch]
+                chat_count += len(batch)
+            else:
+                request = queue.popleft()
+                self._serve_personalize(user, request)
+                kind = PERSONALIZE
+                request_ids = [request.request_id]
+                personalize_count += 1
+            self.turns.append(
+                ServeTurn(
+                    index=len(self.turns),
+                    user_id=user,
+                    kind=kind,
+                    request_ids=request_ids,
+                    batch_size=len(request_ids),
+                    swap_seconds=swap_seconds,
+                    seconds=time.perf_counter() - turn_start,
+                )
+            )
+            if queue:
+                self._cursor += 1
+            else:
+                del self._ring[self._cursor]
+                self._ring_members.discard(user)
+        elapsed = time.perf_counter() - start
+        total = chat_count + personalize_count
+        # The report covers *this* run only; `self.turns`/`self.transcript`
+        # remain the scheduler's cumulative log across repeated run() calls.
+        run_turns = self.turns[turns_start:]
+        per_user: Dict[str, Dict[str, int]] = {}
+        for turn in run_turns:
+            counts = per_user.setdefault(turn.user_id, {CHAT: 0, PERSONALIZE: 0})
+            counts[turn.kind] += turn.batch_size
+        # Per-run swap stats come from this run's turns (an attach that was a
+        # no-op contributed 0.0 and is not a swap); per-run store stats are
+        # the counter deltas against the snapshot taken at run() start.
+        swap_times = [turn.swap_seconds for turn in run_turns if turn.swap_seconds > 0.0]
+        swap_stats = {
+            "count": len(swap_times),
+            "mean_ms": 1e3 * sum(swap_times) / len(swap_times) if swap_times else 0.0,
+            "max_ms": 1e3 * max(swap_times) if swap_times else 0.0,
+        }
+        store_after = self.sessions.store.stats.to_dict()
+        store_stats = {
+            key: store_after[key] - store_before[key]
+            for key in store_after
+            if key != "hit_rate"
+        }
+        run_lookups = store_stats["hits"] + store_stats["misses"]
+        store_stats["hit_rate"] = store_stats["hits"] / run_lookups if run_lookups else 0.0
+        return ServeReport(
+            total_requests=total,
+            chat_requests=chat_count,
+            personalize_requests=personalize_count,
+            num_turns=len(run_turns),
+            num_users=len(per_user),
+            elapsed_seconds=elapsed,
+            requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+            transcript_digest=transcript_digest(self.transcript[transcript_start:]),
+            swap=swap_stats,
+            store=store_stats,
+            per_user=per_user,
+            turn_users=[turn.user_id for turn in run_turns],
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-kind serving
+    # ------------------------------------------------------------------ #
+    def _serve_chat_batch(self, user: str, batch: Sequence[ChatRequest]) -> None:
+        responses = self.sessions.respond(
+            user,
+            [request.question for request in batch],
+            generation=self.generation,
+        )
+        for request, response in zip(batch, responses):
+            self.transcript.append(
+                {
+                    "request_id": request.request_id,
+                    "user_id": user,
+                    "kind": CHAT,
+                    "question": request.question,
+                    "response": response,
+                }
+            )
+
+    def _serve_personalize(self, user: str, request: PersonalizeRequest) -> None:
+        outcome = self.sessions.personalize(
+            user, list(request.dialogues), finetune=request.finetune
+        )
+        final_loss = round(outcome.report.final_loss, 8) if outcome.report is not None else None
+        self.transcript.append(
+            {
+                "request_id": request.request_id,
+                "user_id": user,
+                "kind": PERSONALIZE,
+                "offered": outcome.offered,
+                "accepted": outcome.accepted,
+                "finetuned": outcome.finetuned,
+                "final_loss": final_loss,
+            }
+        )

@@ -1,0 +1,338 @@
+"""Multi-tenant session management over one shared base model.
+
+One frozen transformer serves every user; what distinguishes users is (a)
+their LoRA adapter weights and (b) their personalization state (buffer,
+selector, fine-tuner).  :class:`SessionManager` owns the mapping:
+
+* **attach/detach** hot-swaps the active user's adapter into the shared
+  model through :meth:`OnDeviceLLM.load_adapter_state` — the transformer is
+  never re-built or re-loaded, so a swap costs O(adapter bytes), and the
+  outgoing user's weights are written back to the
+  :class:`~repro.serve.adapter_store.LoRAAdapterStore` first, so no update
+  is ever lost;
+* **sessions** lazily wire a per-user :class:`PersonalizationFramework`
+  around the shared model, so personalize requests run through the exact
+  PR-2 pipeline stages (``ingest → select → annotate → synthesize →
+  finetune``) and train only the attached user's adapter;
+* per-user embedding memo caches stay warm across swaps: a session only
+  computes embeddings while its own adapter is attached and adapters are
+  restored bit-identically, so a returning user's memos remain exact
+  (fine-tuning invalidates through the engine itself).
+
+New users start from the *blank* adapter captured right after injection
+(``B = 0`` — an exact no-op), so every user's personalization begins from
+identical base behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.framework import FrameworkConfig, PersonalizationFramework
+from repro.core.synthesis import SynthesisConfig
+from repro.data.dialogue import DialogueSet
+from repro.data.lexicons import LexiconCollection, builtin_lexicons
+from repro.llm.finetune import FineTuneConfig, FineTuneReport
+from repro.llm.generation import GenerationConfig
+from repro.llm.model import OnDeviceLLM
+from repro.nn.lora import LoRAConfig, clone_lora_state
+from repro.serve.adapter_store import LoRAAdapterStore, validate_user_id
+
+
+def user_seed(user_id: str, base_seed: int = 0) -> int:
+    """A stable per-user seed (identical across processes and runs).
+
+    Python's built-in ``hash`` is salted per process, so the derivation uses
+    CRC-32 of the user id instead — two serving runs with the same users and
+    base seed draw identical per-user random streams.
+    """
+    digest = zlib.crc32(user_id.encode("utf-8"))
+    return int((base_seed * 1_000_003 + digest) % (2**31 - 1))
+
+
+def serving_framework_config(
+    seed: int = 0,
+    lora: Optional[LoRAConfig] = None,
+    selector: str = "ours",
+    buffer_bins: int = 8,
+    finetune_epochs: int = 4,
+    finetune_batch_size: int = 8,
+    learning_rate: float = 1e-2,
+    synthesis_per_item: int = 2,
+) -> FrameworkConfig:
+    """A :class:`FrameworkConfig` tuned for interactive serving.
+
+    Fine-tuning rounds are triggered explicitly by personalize requests, not
+    by a stream interval, so ``finetune_interval`` is set effectively
+    infinite; the epoch count defaults low because serving-time rounds run
+    between user turns.
+    """
+    return FrameworkConfig(
+        buffer_bins=buffer_bins,
+        finetune_interval=1_000_000_000,
+        selector=selector,
+        synthesis=SynthesisConfig(num_per_item=synthesis_per_item, seed=seed),
+        finetune=FineTuneConfig(
+            epochs=finetune_epochs,
+            batch_size=finetune_batch_size,
+            learning_rate=learning_rate,
+            lora=lora if lora is not None else LoRAConfig(),
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@dataclass
+class UserSession:
+    """Per-user serving state: the personalization framework plus counters."""
+
+    user_id: str
+    seed: int
+    framework: PersonalizationFramework
+    chat_requests: int = 0
+    personalize_requests: int = 0
+    finetune_rounds: int = 0
+    dialogues_offered: int = 0
+    dialogues_accepted: int = 0
+
+
+@dataclass
+class PersonalizeOutcome:
+    """What one personalize request did."""
+
+    user_id: str
+    offered: int
+    accepted: int
+    finetuned: bool
+    report: Optional[FineTuneReport] = None
+
+
+@dataclass
+class SwapStats:
+    """Adapter hot-swap latency aggregates (running, O(1) space)."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_seconds * 1e3,
+            "max_ms": self.max_seconds * 1e3,
+        }
+
+
+class SessionManager:
+    """Attaches per-user adapters to one shared model and runs their sessions."""
+
+    def __init__(
+        self,
+        llm: OnDeviceLLM,
+        store: LoRAAdapterStore,
+        lora_config: Optional[LoRAConfig] = None,
+        lexicons: Optional[LexiconCollection] = None,
+        generation: Optional[GenerationConfig] = None,
+        framework_config_factory: Optional[Callable[[int], FrameworkConfig]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.llm = llm
+        self.store = store
+        self.lexicons = lexicons or builtin_lexicons()
+        self.generation = generation
+        self.seed = seed
+        llm.add_lora(lora_config)
+        # The blank adapter every new user starts from: the current A matrices
+        # with B forced to zero, which is an exact no-op on the base model.
+        # Zeroing B (rather than trusting the live state) matters when the
+        # llm arrives with adapters already injected *and trained* — e.g. a
+        # model previously driven by a framework run or another manager; the
+        # live adapter is simply overwritten by the first attach, never
+        # inherited by new users.
+        self._blank_state = llm.export_adapter_state()
+        for key, value in self._blank_state.items():
+            if key.endswith("lora_b"):
+                self._blank_state[key] = np.zeros_like(value)
+        if framework_config_factory is None:
+
+            def framework_config_factory(seed: int) -> FrameworkConfig:
+                return serving_framework_config(seed=seed, lora=self.llm.lora_config)
+
+        self._framework_config_factory = framework_config_factory
+        self._sessions: Dict[str, UserSession] = {}
+        self._active_user: Optional[str] = None
+        # Users whose live adapter may differ from the store's copy.  Only
+        # fine-tuning mutates adapter weights, so chat-only swaps skip the
+        # export + write-back entirely.
+        self._dirty: Set[str] = set()
+        self.swaps = SwapStats()
+
+    # ------------------------------------------------------------------ #
+    # adapter attachment
+    # ------------------------------------------------------------------ #
+    @property
+    def active_user(self) -> Optional[str]:
+        """The user whose adapter is currently attached (None when blank)."""
+        return self._active_user
+
+    def attach(self, user_id: str) -> float:
+        """Make ``user_id`` the active user; returns the swap latency in seconds.
+
+        A no-op (returning 0.0 and recording no swap) when the user is already
+        attached.  Otherwise the outgoing user's adapter is written back to
+        the store (if it changed) and the incoming user's adapter is fetched
+        (unknown users get a copy of the blank adapter).
+
+        The incoming session's embedding memo caches survive the swap on
+        purpose: a session's embeddings are only ever computed while its own
+        adapter is attached, the adapter is restored bit-identically from the
+        store, and fine-tuning invalidates through the engine itself — so a
+        returning user's memos are still exact.  (Code that mutates adapter
+        weights behind the manager's back must call
+        ``session.framework.engine.invalidate_embedding_caches()`` itself.)
+        """
+        validate_user_id(user_id)
+        if self._active_user == user_id:
+            return 0.0
+        start = time.perf_counter()
+        self._write_back_active()
+        try:
+            state = self.store.get(user_id)
+        except KeyError:
+            state = clone_lora_state(self._blank_state)
+            self.store.put(user_id, state)
+        self.llm.load_adapter_state(state)
+        self._active_user = user_id
+        elapsed = time.perf_counter() - start
+        self.swaps.record(elapsed)
+        return elapsed
+
+    def _write_back_active(self) -> None:
+        """Save the active user's adapter to the store if it changed.
+
+        Only fine-tuning dirties an adapter (and :meth:`personalize` already
+        writes back right after each round), so ordinary chat swaps cost no
+        export, no copy and no eventual disk write.
+        """
+        if self._active_user is not None and self._active_user in self._dirty:
+            self.store.put(self._active_user, self.llm.export_adapter_state())
+            self._dirty.discard(self._active_user)
+
+    def detach(self) -> None:
+        """Write the active user's adapter back and restore the blank adapter."""
+        if self._active_user is None:
+            return
+        self._write_back_active()
+        self.llm.load_adapter_state(self._blank_state)
+        self._active_user = None
+
+    def flush(self) -> None:
+        """Persist the active adapter and every dirty cached adapter to disk."""
+        self._write_back_active()
+        self.store.flush()
+
+    # ------------------------------------------------------------------ #
+    # per-user sessions
+    # ------------------------------------------------------------------ #
+    def session(self, user_id: str) -> UserSession:
+        """The (lazily created) serving session of ``user_id``."""
+        validate_user_id(user_id)
+        session = self._sessions.get(user_id)
+        if session is None:
+            seed = user_seed(user_id, self.seed)
+            framework = PersonalizationFramework(
+                self.llm,
+                config=self._framework_config_factory(seed),
+                lexicons=self.lexicons,
+            )
+            session = UserSession(user_id=user_id, seed=seed, framework=framework)
+            self._sessions[user_id] = session
+        return session
+
+    @property
+    def sessions(self) -> Dict[str, UserSession]:
+        """Every session created so far, keyed by user id (live view)."""
+        return self._sessions
+
+    # ------------------------------------------------------------------ #
+    # serving operations
+    # ------------------------------------------------------------------ #
+    def respond(
+        self,
+        user_id: str,
+        questions: Sequence[str],
+        generation: Optional[GenerationConfig] = None,
+    ) -> List[str]:
+        """Answer a batch of questions with ``user_id``'s adapter attached.
+
+        All questions decode in one padded ``respond_batch`` pass — this is
+        the same-adapter batching the scheduler exploits across a user's
+        queued requests.
+        """
+        if not questions:
+            return []
+        self.attach(user_id)
+        session = self.session(user_id)
+        responses = self.llm.respond_batch(
+            list(questions), generation=generation or self.generation
+        )
+        session.chat_requests += len(questions)
+        return responses
+
+    def personalize(
+        self,
+        user_id: str,
+        dialogues: Sequence[DialogueSet],
+        finetune: bool = True,
+    ) -> PersonalizeOutcome:
+        """Feed dialogues through the pipeline stages and fine-tune the adapter.
+
+        Each dialogue runs ``ingest → select → annotate`` on the user's own
+        engine; accepted sets land in the user's buffer.  With ``finetune``
+        (and a non-empty buffer) one ``synthesize → finetune`` round follows,
+        training the attached adapter only.  The updated adapter is written
+        back to the store before returning.
+        """
+        self.attach(user_id)
+        session = self.session(user_id)
+        engine = session.framework.engine
+        accepted = 0
+        for dialogue in dialogues:
+            decision = engine.process_dialogue(dialogue)
+            accepted += int(decision.accepted)
+        session.dialogues_offered += len(dialogues)
+        session.dialogues_accepted += accepted
+        session.personalize_requests += 1
+        report: Optional[FineTuneReport] = None
+        finetuned = False
+        if finetune and not engine.buffer.is_empty():
+            self._dirty.add(user_id)
+            report = engine.finetune_round()
+            session.finetune_rounds += 1
+            finetuned = True
+            # The adapter just changed; write it back so an eviction or a
+            # crash between requests cannot lose the update.
+            self.store.put(user_id, self.llm.export_adapter_state())
+            self._dirty.discard(user_id)
+        return PersonalizeOutcome(
+            user_id=user_id,
+            offered=len(dialogues),
+            accepted=accepted,
+            finetuned=finetuned,
+            report=report,
+        )

@@ -7,7 +7,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.tokenizer.vocab import SpecialTokens, Vocabulary
+from repro.tokenizer.vocab import Vocabulary
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9']+|[.,!?;:]")
 

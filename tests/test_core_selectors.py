@@ -1,6 +1,5 @@
 """Tests for the proposed selection policy and all baseline policies."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import (
@@ -15,7 +14,7 @@ from repro.core.baselines import (
 )
 from repro.core.buffer import DataBuffer
 from repro.core.metrics import QualityScorer
-from repro.core.selector import QualityScoreSelector, SelectionDecision
+from repro.core.selector import QualityScoreSelector
 from repro.data.dialogue import DialogueSet
 from repro.data.lexicons import builtin_lexicons
 from repro.data.synthetic import QUALITY_FILLER, QUALITY_RICH

@@ -4,7 +4,6 @@ from collections import Counter
 
 import pytest
 
-from repro.data.lexicons import builtin_lexicons
 from repro.data.persona import UserPersona, generic_model_response
 from repro.data.synthetic import (
     DATASET_NAMES,
@@ -18,7 +17,6 @@ from repro.data.synthetic import (
     dataset_preset,
     make_all_corpora,
     make_corpus,
-    make_corpus_config,
     make_generator,
     stream_noise_preset,
 )

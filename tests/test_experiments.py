@@ -11,7 +11,6 @@ import pytest
 from repro.experiments import (
     ABLATION_METHODS,
     DEFAULT_METHODS,
-    ExperimentScale,
     comparison_scores,
     format_table,
     framework_config_for,

@@ -9,7 +9,6 @@ from repro.nn.layers import (
     FeedForward,
     LayerNorm,
     Linear,
-    Module,
     Sequential,
 )
 from repro.nn.tensor import Tensor

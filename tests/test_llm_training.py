@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data.dialogue import DialogueCorpus, DialogueSet
+from repro.data.dialogue import DialogueSet
 from repro.llm.finetune import (
     IGNORE_INDEX,
     FineTuneConfig,

@@ -120,3 +120,18 @@ class TestAdapterStateDict:
         inject_lora(model, LoRAConfig(rank=4))
         with pytest.raises(ValueError):
             load_lora_state_dict(model, {"bogus": np.zeros(1)})
+
+    def test_shape_mismatch_raises_and_loads_nothing(self, model):
+        """A state saved under another rank fails cleanly, without half-loading."""
+        inject_lora(model, LoRAConfig(rank=4))
+        state = lora_state_dict(model)
+        before = {key: value.copy() for key, value in state.items()}
+        wrong_rank = {
+            key: np.zeros((8, value.shape[1]) if key.endswith("lora_a") else (value.shape[0], 8),
+                          dtype=np.float32)
+            for key, value in state.items()
+        }
+        with pytest.raises(ValueError, match="different LoRA rank"):
+            load_lora_state_dict(model, wrong_rank)
+        after = lora_state_dict(model)
+        assert all(np.array_equal(after[key], before[key]) for key in before)

@@ -1,0 +1,244 @@
+"""Tests for the cross-user request scheduler, load generator and serve CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.presets import get_scale
+from repro.serve import (
+    ChatRequest,
+    LoadConfig,
+    PersonalizeRequest,
+    RequestScheduler,
+    generate_load,
+    run_serve,
+)
+from repro.serve.loadgen import user_ids
+from tests.test_serve_session import make_manager
+
+
+MICRO_LOAD = LoadConfig(
+    num_users=2,
+    num_requests=8,
+    personalize_every=3,
+    dialogues_per_personalize=2,
+    corpus_size_per_user=10,
+    seed=0,
+)
+
+
+def micro_serve(seed=0):
+    load = LoadConfig(
+        num_users=MICRO_LOAD.num_users,
+        num_requests=MICRO_LOAD.num_requests,
+        personalize_every=MICRO_LOAD.personalize_every,
+        dialogues_per_personalize=MICRO_LOAD.dialogues_per_personalize,
+        corpus_size_per_user=MICRO_LOAD.corpus_size_per_user,
+        seed=seed,
+    )
+    return run_serve(load, scale=get_scale("smoke", seed=seed), pretrain_epochs=3)
+
+
+class TestLoadGenerator:
+    def test_deterministic(self):
+        first = generate_load(MICRO_LOAD)
+        second = generate_load(MICRO_LOAD)
+        assert [type(request).__name__ for request in first] == [
+            type(request).__name__ for request in second
+        ]
+        assert [request.user_id for request in first] == [
+            request.user_id for request in second
+        ]
+        for left, right in zip(first, second):
+            if isinstance(left, ChatRequest):
+                assert left.question == right.question
+            else:
+                assert [d.question for d in left.dialogues] == [
+                    d.question for d in right.dialogues
+                ]
+
+    def test_personalize_cadence_per_user(self):
+        load = LoadConfig(
+            num_users=2, num_requests=40, personalize_every=4, corpus_size_per_user=10
+        )
+        requests = generate_load(load)
+        counts = {user: 0 for user in user_ids(2)}
+        for request in requests:
+            counts[request.user_id] += 1
+            expected_personalize = counts[request.user_id] % 4 == 0
+            assert isinstance(request, PersonalizeRequest) == expected_personalize
+
+    def test_chat_only(self):
+        load = LoadConfig(num_users=2, num_requests=20, chat_only=True, corpus_size_per_user=8)
+        assert all(isinstance(r, ChatRequest) for r in generate_load(load))
+
+    def test_request_ids_follow_submission_order(self):
+        requests = generate_load(MICRO_LOAD)
+        assert [request.request_id for request in requests] == list(range(len(requests)))
+
+
+class TestSchedulerFairness:
+    def test_round_robin_bounds_waiting(self, fresh_llm, tmp_path, med_corpus):
+        """A user with 3 requests is served right after the heavy user's first
+        batch, not after the heavy user's entire queue (incl. a fine-tune)."""
+        manager = make_manager(fresh_llm, tmp_path)
+        scheduler = RequestScheduler(manager, max_batch_size=4)
+        questions = [dialogue.question for dialogue in med_corpus.dialogues()[:12]]
+        for index in range(9):
+            scheduler.submit(ChatRequest(user_id="heavy", question=questions[index]))
+        scheduler.submit(
+            PersonalizeRequest(user_id="heavy", dialogues=tuple(med_corpus.dialogues()[:2]))
+        )
+        for index in range(3):
+            scheduler.submit(ChatRequest(user_id="light", question=questions[9 + index]))
+
+        report = scheduler.run()
+        # heavy: 4 + 4 + 1 chat turns (the personalize request splits the last
+        # batch) + 1 personalize turn; light: one 3-chat turn, served second.
+        assert report.turn_users == ["heavy", "light", "heavy", "heavy", "heavy"]
+        assert report.num_turns == 5
+        kinds = [turn.kind for turn in scheduler.turns]
+        assert kinds == ["chat", "chat", "chat", "chat", "personalize"]
+        assert report.per_user["light"]["chat"] == 3
+        assert report.per_user["heavy"]["chat"] == 9
+        assert report.per_user["heavy"]["personalize"] == 1
+        assert report.total_requests == 13
+
+    def test_same_adapter_requests_batch_together(self, fresh_llm, tmp_path, med_corpus):
+        """Interleaved submissions still coalesce into per-user batches."""
+        manager = make_manager(fresh_llm, tmp_path)
+        scheduler = RequestScheduler(manager, max_batch_size=8)
+        questions = [dialogue.question for dialogue in med_corpus.dialogues()[:6]]
+        for index in range(3):  # a1 b1 a2 b2 a3 b3
+            scheduler.submit(ChatRequest(user_id="aa", question=questions[2 * index]))
+            scheduler.submit(ChatRequest(user_id="bb", question=questions[2 * index + 1]))
+        report = scheduler.run()
+        assert report.turn_users == ["aa", "bb"]
+        assert [turn.batch_size for turn in scheduler.turns] == [3, 3]
+        # One adapter swap per user, none inside a batch.
+        assert report.swap["count"] == 2
+
+    def test_batched_equals_sequential_under_greedy(
+        self, fresh_llm, tmp_path, med_corpus
+    ):
+        """Scheduling policy changes throughput, not responses (greedy)."""
+        from repro.llm.generation import GenerationConfig
+
+        greedy = GenerationConfig(max_new_tokens=8, greedy=True)
+        questions = [dialogue.question for dialogue in med_corpus.dialogues()[:6]]
+
+        def serve(max_batch_size, directory):
+            manager = make_manager(fresh_llm.clone(), directory)
+            scheduler = RequestScheduler(
+                manager, max_batch_size=max_batch_size, generation=greedy
+            )
+            for index, question in enumerate(questions):
+                scheduler.submit(
+                    ChatRequest(user_id=f"user-{index % 2}", question=question)
+                )
+            scheduler.run()
+            return sorted(scheduler.transcript, key=lambda r: r["request_id"])
+
+        sequential = serve(1, tmp_path / "seq")
+        batched = serve(8, tmp_path / "batch")
+        assert sequential == batched
+
+    def test_rejects_bad_batch_size(self, fresh_llm, tmp_path):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            RequestScheduler(make_manager(fresh_llm, tmp_path), max_batch_size=0)
+
+    def test_resubmit_after_run_is_served(self, fresh_llm, tmp_path, med_corpus):
+        """A user who drained earlier re-enters the ring on a later submit."""
+        manager = make_manager(fresh_llm, tmp_path)
+        scheduler = RequestScheduler(manager, max_batch_size=4)
+        question = med_corpus.dialogues()[0].question
+        scheduler.submit(ChatRequest(user_id="alice", question=question))
+        first = scheduler.run()
+        assert first.total_requests == 1
+        scheduler.submit(ChatRequest(user_id="alice", question=question))
+        scheduler.submit(ChatRequest(user_id="bob", question=question))
+        second = scheduler.run()
+        assert second.total_requests == 2
+        assert scheduler.pending_count == 0
+        # Each report covers its own run; the transcript log is cumulative.
+        assert second.num_turns == 2
+        assert second.turn_users == ["alice", "bob"]
+        assert len(scheduler.transcript) == 3
+
+
+class TestEndToEndDeterminism:
+    def test_fixed_seed_gives_identical_digest(self):
+        """The acceptance criterion: two full rebuild to serve runs, one digest."""
+        first = micro_serve(seed=0)
+        second = micro_serve(seed=0)
+        assert first.digest == second.digest
+        assert first.transcript == second.transcript
+        assert first.report.total_requests == MICRO_LOAD.num_requests
+
+    def test_different_seed_changes_digest(self):
+        assert micro_serve(seed=0).digest != micro_serve(seed=1).digest
+
+    def test_report_accounting(self):
+        outcome = micro_serve(seed=0)
+        report = outcome.report
+        assert report.chat_requests + report.personalize_requests == report.total_requests
+        assert report.num_turns == len(report.turn_users)
+        assert sum(
+            counts["chat"] + counts["personalize"]
+            for counts in report.per_user.values()
+        ) == report.total_requests
+        assert report.requests_per_sec > 0
+        payload = report.to_dict()
+        json.dumps(payload)  # must be JSON-serializable as-is
+        assert payload["transcript_digest"] == outcome.digest
+
+
+class TestServeCLI:
+    def test_serve_cli_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "serve-run"
+        code = main(
+            [
+                "serve",
+                "--users", "2",
+                "--requests", "6",
+                "--scale", "smoke",
+                "--seed", "0",
+                "--personalize-every", "3",
+                "--out", str(out_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "transcript digest:" in output
+        payload = json.loads((out_dir / "serve_result.json").read_text())
+        assert payload["total_requests"] == 6
+        assert payload["scale"] == "smoke"
+        assert len(payload["transcript"]) == 6
+        adapters = list((out_dir / "adapters").glob("*.adapter.pkl"))
+        assert adapters  # per-user adapter files persisted
+
+        # Re-running into the same --out must reset the adapter directory and
+        # reproduce the identical transcript digest (the acceptance check) —
+        # stale trained adapters must not seed the second run.
+        assert main(
+            [
+                "serve",
+                "--users", "2",
+                "--requests", "6",
+                "--scale", "smoke",
+                "--seed", "0",
+                "--personalize-every", "3",
+                "--out", str(out_dir),
+                "--quiet",
+            ]
+        ) == 0
+        capsys.readouterr()
+        rerun = json.loads((out_dir / "serve_result.json").read_text())
+        assert rerun["transcript_digest"] == payload["transcript_digest"]
+
+    def test_serve_cli_rejects_contradictory_flags(self, capsys):
+        code = main(["serve", "--no-artifacts", "--out", "somewhere", "--quiet"])
+        assert code == 2
+        assert "contradict" in capsys.readouterr().err

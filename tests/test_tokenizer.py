@@ -1,6 +1,5 @@
 """Tests for the vocabulary and word tokenizer."""
 
-import numpy as np
 import pytest
 
 from repro.tokenizer import SpecialTokens, Vocabulary, WordTokenizer, split_words
