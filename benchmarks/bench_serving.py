@@ -7,17 +7,20 @@ shared pre-trained base model:
   way a naive per-user loop would serve traffic;
 * ``batched`` — ``max_batch_size=8``: the scheduler groups each user's
   queued requests into one padded ``respond_batch`` decode (the PR-1 fast
-  path) under a single adapter attach.
+  path) under a single adapter attach;
+* ``journaled`` — ``batched`` plus a durable request journal recording
+  every enqueue and completion (the PR-6 robustness layer), measuring what
+  crash-safety costs at steady state.
 
-Decoding is greedy, so both policies produce the identical transcript —
+Decoding is greedy, so all policies produce the identical transcript —
 the comparison isolates scheduling policy, not output quality.  Also
 measures adapter hot-swap latency with a cold store (adapter read from
 disk) and a warm cache (adapter already in memory).
 
 Writes ``BENCH_serving.json`` next to this file (consumed by
-``scripts/perf_check.py --serving``) and asserts the ≥2× batched-over-
-sequential speedup the serving layer is held to.  Run directly
-(``python benchmarks/bench_serving.py``) or through pytest.
+``scripts/perf_check.py --serving`` and ``--chaos-overhead``) and asserts
+the ≥2× batched-over-sequential speedup the serving layer is held to.
+Run directly (``python benchmarks/bench_serving.py``) or through pytest.
 """
 
 from __future__ import annotations
@@ -28,7 +31,13 @@ from pathlib import Path
 from typing import Dict
 
 from repro.experiments.presets import get_scale
-from repro.serve import LoadConfig, LoRAAdapterStore, RequestScheduler, generate_load
+from repro.serve import (
+    LoadConfig,
+    LoRAAdapterStore,
+    RequestJournal,
+    RequestScheduler,
+    generate_load,
+)
 from repro.serve.loadgen import build_serving_llm, user_ids
 from repro.serve.runner import make_session_manager, serving_generation_config
 
@@ -41,24 +50,31 @@ REPEATS = 3
 REQUIRED_SPEEDUP = 2.0
 
 
-def _serve_load(llm, scale, load, store_dir, max_batch_size) -> Dict[str, object]:
+def _serve_load(llm, scale, load, store_dir, max_batch_size, journal_path=None):
     """One full scheduling pass over the load.
 
     Returns the serving seconds (``scheduler.run()`` only — environment
-    construction and load generation are identical for both policies and
+    construction and load generation are identical for all policies and
     must not dilute the measured ratio), the report and the transcript.
+    With ``journal_path`` set, every enqueue and completion is journaled —
+    the durable policy whose overhead ``--chaos-overhead`` gates.
     """
     store = LoRAAdapterStore(store_dir, cache_capacity=NUM_USERS)
     manager = make_session_manager(llm, store, scale, seed=load.seed)
+    journal = RequestJournal(journal_path) if journal_path is not None else None
     scheduler = RequestScheduler(
         manager,
         max_batch_size=max_batch_size,
         generation=serving_generation_config(llm, scale),
+        journal=journal,
     )
-    scheduler.submit_many(generate_load(load))
+    requests = generate_load(load)
     start = time.perf_counter()
+    scheduler.submit_many(requests)
     report = scheduler.run()
     elapsed = time.perf_counter() - start
+    if journal is not None:
+        journal.close()
     return {"seconds": elapsed, "report": report, "transcript": scheduler.transcript}
 
 
@@ -75,33 +91,39 @@ def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
     )
     llm = build_serving_llm(scale, dataset=load.dataset, seed=load.seed)
 
-    best: Dict[str, float] = {"sequential": 0.0, "batched": 0.0}
+    policies = (
+        ("sequential", 1, False),
+        ("batched", BATCHED_MAX_BATCH, False),
+        ("journaled", BATCHED_MAX_BATCH, True),
+    )
+    best: Dict[str, float] = {name: 0.0 for name, _, _ in policies}
     transcripts: Dict[str, list] = {}
     with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as root:
-        # Warm both policies once, then interleave the timed rounds so
+        # Warm every policy once, then interleave the timed rounds so
         # transient machine load does not bias one policy; keep the best
         # round per policy.
         for round_index in range(repeats + 1):
-            for policy, max_batch in (("sequential", 1), ("batched", BATCHED_MAX_BATCH)):
+            for policy, max_batch, journaled in policies:
                 store_dir = Path(root) / f"{policy}-{round_index}"
-                outcome = _serve_load(llm, scale, load, store_dir, max_batch)
+                journal_path = Path(root) / f"journal-{round_index}.log" if journaled else None
+                outcome = _serve_load(llm, scale, load, store_dir, max_batch, journal_path)
                 transcripts[policy] = outcome["transcript"]
                 if round_index > 0:
                     best[policy] = max(best[policy], NUM_REQUESTS / outcome["seconds"])
 
-        # Greedy decoding must make the two policies semantically identical;
-        # a divergence would mean batching changed the outputs, not just the
-        # speed.  Service *order* legitimately differs (batch size changes the
-        # round-robin interleaving), so compare per request id.
-        by_id = [
-            sorted(transcripts[policy], key=lambda record: record["request_id"])
-            for policy in ("sequential", "batched")
-        ]
-        if by_id[0] != by_id[1]:
-            raise AssertionError(
-                "sequential and batched scheduling produced different responses "
-                "for the same requests"
-            )
+        # Greedy decoding must make the policies semantically identical; a
+        # divergence would mean batching (or journaling) changed the outputs,
+        # not just the speed.  Service *order* legitimately differs (batch
+        # size changes the round-robin interleaving), so compare per
+        # request id.
+        reference = sorted(transcripts["sequential"], key=lambda record: record["request_id"])
+        for policy in ("batched", "journaled"):
+            by_id = sorted(transcripts[policy], key=lambda record: record["request_id"])
+            if by_id != reference:
+                raise AssertionError(
+                    f"sequential and {policy} scheduling produced different "
+                    "responses for the same requests"
+                )
 
         # Adapter-swap latency: cold (adapter file read from disk through a
         # cache sized too small to hold it) vs warm (already cached).
@@ -125,6 +147,9 @@ def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
                 warm_seconds.append(warm_manager.attach(user))
 
     speedup = best["batched"] / best["sequential"]
+    # Fraction of batched throughput lost to journaling (can be slightly
+    # negative from timing noise when the journal is effectively free).
+    journal_overhead = 1.0 - best["journaled"] / best["batched"]
     summary = {
         "benchmark": "serving_throughput",
         "num_users": NUM_USERS,
@@ -139,8 +164,10 @@ def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
         "requests_per_sec": {
             "sequential": round(best["sequential"], 2),
             "batched": round(best["batched"], 2),
+            "journaled": round(best["journaled"], 2),
         },
         "batched_speedup": round(speedup, 2),
+        "journal_overhead": round(journal_overhead, 4),
         "adapter_swap_ms": {
             "cold": round(1e3 * sum(cold_seconds) / len(cold_seconds), 4),
             "warm": round(1e3 * sum(warm_seconds) / len(warm_seconds), 4),
@@ -156,7 +183,9 @@ def test_serving_throughput():
     rates = summary["requests_per_sec"]
     print(
         f"\n[Serving] req/sec — sequential {rates['sequential']}, "
-        f"batched {rates['batched']} ({summary['batched_speedup']}x); "
+        f"batched {rates['batched']} ({summary['batched_speedup']}x), "
+        f"journaled {rates['journaled']} "
+        f"({100 * summary['journal_overhead']:.1f}% overhead); "
         f"adapter swap cold {summary['adapter_swap_ms']['cold']} ms / "
         f"warm {summary['adapter_swap_ms']['warm']} ms"
     )

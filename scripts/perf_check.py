@@ -13,10 +13,16 @@ enforces the machine-independent structural guarantee of the serving layer:
 batched multi-user decode must stay at least 2x ahead of the sequential
 per-user loop.
 
+With ``--chaos-overhead`` the serving benchmark's journaled policy is
+gated as well: request journaling (the crash-safety layer of
+``docs/robustness.md``) must cost at most 10% of batched serving
+throughput.  Both serving flags share one benchmark run when combined.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
-                                                [--serving] [--ratio-only]
+                                                [--serving] [--chaos-overhead]
+                                                [--ratio-only]
 
 ``--update`` rewrites the baseline from the current run (use after an
 intentional perf change, on the machine that produces the committed numbers).
@@ -46,6 +52,10 @@ EXIT_REGRESSION = 1
 # 2 is argparse's exit code for bad arguments; keep the new codes distinct.
 EXIT_BASELINE_MISSING = 3
 EXIT_BASELINE_MALFORMED = 4
+
+# Journaling every request may cost at most this fraction of the batched
+# serving throughput (machine-independent: both sides measured in-run).
+MAX_JOURNAL_OVERHEAD = 0.10
 
 
 class BaselineError(ValueError):
@@ -106,6 +116,12 @@ def main() -> int:
         help="also run the multi-tenant serving benchmark and enforce the "
              "2x batched-over-sequential serving speedup",
     )
+    parser.add_argument(
+        "--chaos-overhead", action="store_true",
+        help="also enforce that request journaling costs at most "
+             f"{MAX_JOURNAL_OVERHEAD:.0%} of batched serving throughput "
+             "(runs the serving benchmark; shares the run with --serving)",
+    )
     args = parser.parse_args()
 
     # Validate the baseline *before* spending a minute on the benchmark, and
@@ -165,21 +181,31 @@ def main() -> int:
     if kv_speedup < 5.0:
         failures.append("kv_cached_speedup")
 
-    if args.serving:
+    if args.serving or args.chaos_overhead:
         from bench_serving import REQUIRED_SPEEDUP, run_benchmark as run_serving_benchmark
 
         serving = run_serving_benchmark()
         rates = serving["requests_per_sec"]
-        speedup = float(serving["batched_speedup"])
-        print(
-            f"serving req/sec: sequential {rates['sequential']}, "
-            f"batched {rates['batched']} "
-            f"({speedup:.2f}x, required >= {REQUIRED_SPEEDUP:.1f}x); "
-            f"adapter swap cold {serving['adapter_swap_ms']['cold']} ms / "
-            f"warm {serving['adapter_swap_ms']['warm']} ms"
-        )
-        if speedup < REQUIRED_SPEEDUP:
-            failures.append("serving_batched_speedup")
+        if args.serving:
+            speedup = float(serving["batched_speedup"])
+            print(
+                f"serving req/sec: sequential {rates['sequential']}, "
+                f"batched {rates['batched']} "
+                f"({speedup:.2f}x, required >= {REQUIRED_SPEEDUP:.1f}x); "
+                f"adapter swap cold {serving['adapter_swap_ms']['cold']} ms / "
+                f"warm {serving['adapter_swap_ms']['warm']} ms"
+            )
+            if speedup < REQUIRED_SPEEDUP:
+                failures.append("serving_batched_speedup")
+        if args.chaos_overhead:
+            overhead = float(serving["journal_overhead"])
+            print(
+                f"journal overhead: batched {rates['batched']} vs journaled "
+                f"{rates['journaled']} req/sec — {overhead:.1%} "
+                f"(allowed <= {MAX_JOURNAL_OVERHEAD:.0%})"
+            )
+            if overhead > MAX_JOURNAL_OVERHEAD:
+                failures.append("journal_overhead")
 
     if failures:
         print(f"FAIL: throughput regressed: {', '.join(failures)}")

@@ -174,6 +174,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not write any files; print the report only",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable-serving state (request journal + per-user checkpoints); "
+        "enables crash-safe replay (default <out>/state when --chaos/--resume)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an existing journal in --state-dir: finished requests are "
+        "skipped, committed fine-tunes roll forward, the rest re-serves",
+    )
+    serve.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a deterministic fault schedule (store I/O errors, a corrupt "
+        "adapter file, a slow session, a soft crash) derived from --seed",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts for transient failures (capped exponential backoff "
+        "with deterministic jitter; 1 disables retrying; default 3)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request latency deadline; overdue work dead-letters "
+        "(default: none)",
+    )
+    serve.add_argument(
+        "--pretrain-epochs",
+        type=int,
+        default=None,
+        help="override the scale preset's base-model pre-training epochs "
+        "(chaos smoke uses 1 to keep restarts fast)",
+    )
     serve.add_argument("--quiet", action="store_true", help="suppress progress logging")
     return parser
 
@@ -265,9 +306,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
 
     import json
+    import shutil
+    import tempfile
+    from pathlib import Path
 
     from repro.experiments.presets import get_scale
     from repro.serve import LoadConfig, run_serve
+    from repro.serve.errors import RetryPolicy
+    from repro.serve.faults import FaultPlan, chaos_plan
 
     scale = get_scale(args.scale, seed=args.seed)
     load = LoadConfig(
@@ -277,30 +323,60 @@ def _command_serve(args: argparse.Namespace) -> int:
         personalize_every=args.personalize_every,
         seed=args.seed,
     )
+    # Environment-armed crash plans (REPRO_CRASH_POINT et al.) take
+    # precedence over --chaos: that is how the kill/resume chaos test arms a
+    # hard SIGKILL inside this very process.
+    fault_plan = FaultPlan.from_env()
+    if fault_plan is None and args.chaos:
+        fault_plan = chaos_plan(args.seed, users=args.users)
+    durable = args.state_dir is not None or args.resume or fault_plan is not None
+
     out_dir = args.out
     if out_dir is None and not args.no_artifacts:
         out_dir = f"runs/serve-{scale.name}-seed{args.seed}"
     adapter_dir = None
+    out_path = None
     if out_dir is not None:
-        import shutil
-        from pathlib import Path
-
         out_path = Path(out_dir)
         out_path.mkdir(parents=True, exist_ok=True)
         adapter_dir = out_path / "adapters"
-        # Each serve run starts from blank adapters: leftovers from a previous
-        # run into the same --out would silently seed users with trained
-        # weights and break the fixed-seed → fixed-digest guarantee.
-        if adapter_dir.exists():
+        # Each fresh serve run starts from blank adapters: leftovers from a
+        # previous run into the same --out would silently seed users with
+        # trained weights and break the fixed-seed → fixed-digest guarantee.
+        # A --resume run keeps them — they ARE the state being resumed.
+        if adapter_dir.exists() and not args.resume:
             shutil.rmtree(adapter_dir)
 
-    outcome = run_serve(
-        load,
-        scale=scale,
-        adapter_dir=adapter_dir,
-        cache_capacity=args.cache_capacity,
-        max_batch_size=args.max_batch,
-    )
+    temporary_state = None
+    state_dir = Path(args.state_dir) if args.state_dir is not None else None
+    if durable and state_dir is None:
+        if out_path is not None:
+            state_dir = out_path / "state"
+        else:
+            temporary_state = tempfile.TemporaryDirectory(prefix="repro-serve-state-")
+            state_dir = Path(temporary_state.name) / "state"
+    if state_dir is not None and state_dir.exists() and not args.resume:
+        shutil.rmtree(state_dir)
+
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    try:
+        outcome = run_serve(
+            load,
+            scale=scale,
+            adapter_dir=adapter_dir,
+            cache_capacity=args.cache_capacity,
+            max_batch_size=args.max_batch,
+            pretrain_epochs=args.pretrain_epochs,
+            state_dir=state_dir,
+            resume=args.resume,
+            fault_plan=fault_plan,
+            retry=retry,
+            deadline_seconds=args.deadline,
+            install_signal_handlers=True,
+        )
+    finally:
+        if temporary_state is not None:
+            temporary_state.cleanup()
     report = outcome.report
     print(f"== multi-tenant serve (scale={scale.name}, seed={args.seed}) ==")
     print(
@@ -323,6 +399,31 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"{report.store['disk_writes']} disk writes)"
     )
     print(f"transcript digest: {report.transcript_digest}")
+    if report.retries or report.dead_letter_requests or report.degraded_chat_requests:
+        print(
+            f"robustness: {report.retries} retries, "
+            f"{report.degraded_chat_requests} degraded chats, "
+            f"{report.dead_letter_requests} dead-lettered"
+        )
+    if report.health:
+        summary = ", ".join(
+            f"{item['component']}={item['state']}" for item in report.health.values()
+        )
+        print(f"health: {summary}")
+        for item in report.health.values():
+            for reason in item.get("reasons", []):
+                print(f"  [{item['component']}] {reason}")
+    if outcome.restarts:
+        print(f"crash recovery: {outcome.restarts} in-process restart(s)")
+    if outcome.replayed_requests:
+        print(f"crash recovery: {outcome.replayed_requests} fine-tune(s) rolled forward")
+    if outcome.faults is not None:
+        injected = ", ".join(
+            f"{name}×{count}" for name, count in outcome.faults["injected"].items()
+        )
+        print(f"faults injected: {injected or 'none'}")
+    if outcome.journal_digest is not None:
+        print(f"journal digest: {outcome.journal_digest}")
     if out_dir is not None:
         result_path = out_path / "serve_result.json"
         payload = report.to_dict()
@@ -335,9 +436,20 @@ def _command_serve(args: argparse.Namespace) -> int:
             "personalize_every": load.personalize_every,
         }
         payload["transcript"] = outcome.transcript
+        payload["journal_digest"] = outcome.journal_digest
+        payload["restarts"] = outcome.restarts
+        payload["replayed_requests"] = outcome.replayed_requests
+        payload["faults"] = outcome.faults
         result_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"result: {result_path}")
         print(f"adapters: {adapter_dir}")
+    if report.total_requests > 0 and report.dead_letter_requests == report.total_requests:
+        print(
+            "error: every request dead-lettered — the serving layer made no "
+            "progress (check the health reasons above)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

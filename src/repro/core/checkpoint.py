@@ -34,11 +34,12 @@ in ``tests/test_engine_checkpoint.py``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import PipelineEngine
@@ -46,20 +47,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 CHECKPOINT_FORMAT_VERSION = 1
 
 
-def atomic_pickle_dump(path: Union[str, Path], payload: object) -> Path:
-    """Pickle ``payload`` to ``path`` atomically (write temp file, then rename).
+def atomic_bytes_dump(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (write temp file, then rename).
 
     A reader never observes a half-written file: either the old content is
-    still there or the new content is complete.  Used for every checkpoint
-    section and for each adapter file in the serving layer's
-    :class:`~repro.serve.adapter_store.LoRAAdapterStore`.
+    still there or the new content is complete.
     """
     path = Path(path)
     temporary = path.with_name(path.name + ".tmp")
     with temporary.open("wb") as handle:
-        pickle.dump(payload, handle)
+        handle.write(data)
     os.replace(temporary, path)
     return path
+
+
+def atomic_pickle_dump(path: Union[str, Path], payload: object) -> Path:
+    """Pickle ``payload`` to ``path`` atomically (see :func:`atomic_bytes_dump`).
+
+    Used for every checkpoint section and for each adapter file in the
+    serving layer's :class:`~repro.serve.adapter_store.LoRAAdapterStore`.
+    """
+    return atomic_bytes_dump(path, pickle.dumps(payload))
+
+
+def sha256_hex(data: bytes) -> str:
+    """SHA-256 hex digest of ``data`` (section / journal checksums)."""
+    return hashlib.sha256(data).hexdigest()
 
 MANIFEST_FILE = "manifest.json"
 
@@ -107,16 +120,25 @@ class CheckpointManager:
             ) from error
 
     # ------------------------------------------------------------------ #
-    def save(self, engine: "PipelineEngine") -> Path:
-        """Write the engine's full state; returns the checkpoint directory."""
+    def save(self, engine: "PipelineEngine", extra: Optional[dict] = None) -> Path:
+        """Write the engine's full state; returns the checkpoint directory.
+
+        ``extra`` (JSON-serializable) rides along in the manifest — the
+        serving layer stores its exactly-once fencing metadata there
+        (request id, round counter, pending transcript entry), making the
+        manifest write the atomic commit point of a personalize round.
+        """
         state = engine.capture_state()
         self.directory.mkdir(parents=True, exist_ok=True)
         # Invalidate any previous snapshot first: if this write dies halfway,
         # the directory must not pass for a complete (older or mixed) one.
         if self.manifest_path.exists():
             self.manifest_path.unlink()
+        checksums = {}
         for section, filename in _SECTION_FILES.items():
-            atomic_pickle_dump(self.directory / filename, state[section])
+            data = pickle.dumps(state[section])
+            checksums[section] = sha256_hex(data)
+            atomic_bytes_dump(self.directory / filename, data)
         manifest = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "selector": engine.selector.name,
@@ -125,7 +147,10 @@ class CheckpointManager:
             "learning_curve_points": len(engine.learning_curve),
             "buffer_entries": len(engine.buffer),
             "sections": dict(_SECTION_FILES),
+            "checksums": checksums,
         }
+        if extra is not None:
+            manifest["extra"] = extra
         self.manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
         return self.directory
 
@@ -138,13 +163,20 @@ class CheckpointManager:
                 f"checkpoint format version {version!r} is not supported "
                 f"(expected {CHECKPOINT_FORMAT_VERSION})"
             )
+        checksums = manifest.get("checksums", {})
         state = {}
         for section, filename in _SECTION_FILES.items():
             path = self.directory / filename
             if not path.is_file():
                 raise CheckpointError(f"checkpoint section missing: {path}")
-            with path.open("rb") as handle:
-                state[section] = pickle.load(handle)
+            data = path.read_bytes()
+            expected = checksums.get(section)
+            if expected is not None and sha256_hex(data) != expected:
+                raise CheckpointError(
+                    f"checkpoint section corrupt: {path} does not match the "
+                    "checksum recorded in the manifest"
+                )
+            state[section] = pickle.loads(data)
         return state
 
     def restore(self, engine: "PipelineEngine") -> dict:

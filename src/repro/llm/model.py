@@ -301,6 +301,53 @@ class OnDeviceLLM:
             ],
         }
 
+    def reseed_dropout(self, seed: int) -> None:
+        """Reset every dropout stream to a state derived from ``seed``.
+
+        Multi-tenant serving calls this before each fine-tune round with a
+        per-``(user, round)`` seed: dropout draws then depend only on whose
+        round it is, not on how many other users' rounds happened to run
+        first on the shared model.  That order-independence is what lets a
+        crash-recovered scheduler — whose round ordering may legitimately
+        differ from the uninterrupted run's — reproduce bit-identical
+        fine-tune results (see ``docs/robustness.md``).
+        """
+        for index, module in enumerate(self._dropout_modules()):
+            module._rng = as_generator((seed + 7919 * index) % (2**31 - 1))
+
+    def export_rng_streams(self) -> dict:
+        """Snapshot only the generation + dropout RNG streams (no weights).
+
+        These streams are *shared* across every user a serving deployment
+        multiplexes over this model, so crash recovery treats them as a
+        global resource: restoring one user's full runtime snapshot must not
+        rewind streams that later work already advanced (see
+        :mod:`repro.serve.session` and :mod:`repro.serve.runner`).
+        """
+        return {
+            "generation_rng": get_generator_state(self._generation_rng),
+            "dropout_rngs": [
+                get_generator_state(module._rng) for module in self._dropout_modules()
+            ],
+        }
+
+    def load_rng_streams(self, payload: dict) -> None:
+        """Restore streams captured by :meth:`export_rng_streams`.
+
+        Also accepts a full :meth:`export_runtime_state` payload (both carry
+        the ``generation_rng`` / ``dropout_rngs`` keys).
+        """
+        set_generator_state(self._generation_rng, payload["generation_rng"])
+        dropouts = self._dropout_modules()
+        states = payload.get("dropout_rngs", [])
+        if len(states) != len(dropouts):
+            raise ValueError(
+                f"snapshot has {len(states)} dropout RNG states but the model "
+                f"has {len(dropouts)} dropout modules"
+            )
+        for module, state in zip(dropouts, states):
+            set_generator_state(module._rng, state)
+
     def load_runtime_state(self, payload: dict) -> None:
         """Restore a snapshot produced by :meth:`export_runtime_state`.
 
@@ -315,16 +362,7 @@ class OnDeviceLLM:
             self.model.train()
         else:
             self.model.eval()
-        set_generator_state(self._generation_rng, payload["generation_rng"])
-        dropouts = self._dropout_modules()
-        states = payload.get("dropout_rngs", [])
-        if len(states) != len(dropouts):
-            raise ValueError(
-                f"snapshot has {len(states)} dropout RNG states but the model "
-                f"has {len(dropouts)} dropout modules"
-            )
-        for module, state in zip(dropouts, states):
-            set_generator_state(module._rng, state)
+        self.load_rng_streams(payload)
 
     def save(self, path: Union[str, Path]) -> Path:
         """Persist the model weights, tokenizer vocabulary and config."""

@@ -11,7 +11,12 @@ subsystem splits into four parts —
 * :mod:`repro.serve.scheduler` — round-robin, same-adapter-batched request
   scheduling (:class:`RequestScheduler`);
 * :mod:`repro.serve.loadgen` / :mod:`repro.serve.runner` — deterministic
-  synthetic workloads and the end-to-end ``repro serve`` entry point.
+  synthetic workloads and the end-to-end ``repro serve`` entry point;
+* :mod:`repro.serve.journal` / :mod:`repro.serve.faults` /
+  :mod:`repro.serve.errors` / :mod:`repro.serve.health` — the robustness
+  layer: durable request journal with crash-safe replay, deterministic
+  fault injection, the typed error taxonomy + retry policy, and component
+  health states (see ``docs/robustness.md``).
 """
 
 from repro.serve.adapter_store import (
@@ -19,6 +24,32 @@ from repro.serve.adapter_store import (
     LoRAAdapterStore,
     StoreStats,
     validate_user_id,
+)
+from repro.serve.errors import (
+    DeadlineExceededError,
+    InjectedFaultError,
+    PermanentServingError,
+    PoisonRequestError,
+    RetryPolicy,
+    ServingError,
+    StoreIOError,
+    TransientServingError,
+)
+from repro.serve.faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    chaos_plan,
+)
+from repro.serve.health import ComponentHealth, HealthRegistry, HealthState
+from repro.serve.journal import (
+    JournalError,
+    JournalReplay,
+    RequestJournal,
+    entries_digest,
+    journal_digest,
+    replay,
 )
 from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load, user_ids
 from repro.serve.runner import ServeOutcome, make_session_manager, run_serve
@@ -40,21 +71,42 @@ from repro.serve.session import (
 
 __all__ = [
     "AdapterStoreError",
+    "CRASH_POINTS",
     "ChatRequest",
+    "ComponentHealth",
+    "DeadlineExceededError",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthRegistry",
+    "HealthState",
+    "InjectedCrash",
+    "InjectedFaultError",
+    "JournalError",
+    "JournalReplay",
     "LoRAAdapterStore",
     "LoadConfig",
+    "PermanentServingError",
     "PersonalizeOutcome",
     "PersonalizeRequest",
+    "PoisonRequestError",
+    "RequestJournal",
     "RequestScheduler",
+    "RetryPolicy",
     "ServeOutcome",
     "ServeReport",
     "ServeTurn",
+    "ServingError",
     "SessionManager",
+    "StoreIOError",
     "StoreStats",
     "UserSession",
     "build_serving_llm",
+    "chaos_plan",
+    "entries_digest",
     "generate_load",
+    "journal_digest",
     "make_session_manager",
+    "replay",
     "run_serve",
     "serving_framework_config",
     "transcript_digest",

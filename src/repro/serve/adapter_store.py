@@ -10,7 +10,10 @@ cache in front so the hot users' adapters never touch the filesystem.
 Disk layout (one file per user, written atomically)::
 
     <directory>/
-        <user_id>.adapter.pkl     # {"format_version": 1, "user_id": ..., "state": {...}}
+        <user_id>.adapter.pkl     # {"format_version": 1, "user_id": ...,
+                                  #  "round": <finetune rounds applied>, "state": {...}}
+        <user_id>.adapter.pkl.corrupt   # quarantined unreadable file (kept for
+                                        # post-mortem; the user re-inits blank)
 
 The cache budget is configurable both as an entry count and as a byte budget;
 eviction flushes dirty entries to disk first, so an evicted adapter reloaded
@@ -22,6 +25,7 @@ and eviction pressure.
 
 from __future__ import annotations
 
+import os
 import pickle
 import re
 from collections import OrderedDict
@@ -33,6 +37,9 @@ import numpy as np
 
 from repro.core.checkpoint import atomic_pickle_dump
 from repro.nn.lora import clone_lora_state, lora_state_nbytes
+from repro.serve.errors import StoreIOError
+from repro.serve.faults import NO_FAULTS, FaultInjector
+from repro.serve.health import ComponentHealth
 
 ADAPTER_FORMAT_VERSION = 1
 
@@ -66,6 +73,9 @@ class StoreStats:
     disk_loads: int = 0
     disk_writes: int = 0
     deletes: int = 0
+    quarantined: int = 0
+    io_errors: int = 0
+    skipped_writes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -82,17 +92,27 @@ class StoreStats:
             "disk_loads": self.disk_loads,
             "disk_writes": self.disk_writes,
             "deletes": self.deletes,
+            "quarantined": self.quarantined,
+            "io_errors": self.io_errors,
+            "skipped_writes": self.skipped_writes,
             "hit_rate": self.hit_rate,
         }
 
 
 @dataclass
 class _CacheEntry:
-    """One cached adapter: the state arrays plus write-back bookkeeping."""
+    """One cached adapter: the state arrays plus write-back bookkeeping.
+
+    ``round`` is the user's fine-tune round counter — the fencing token of
+    the serving layer's exactly-once personalize protocol.  It is persisted
+    inside the adapter payload so a restarted server can tell whether an
+    interrupted round already reached the disk.
+    """
 
     state: Dict[str, np.ndarray]
     nbytes: int
     dirty: bool = field(default=False)
+    round: int = 0
 
 
 class LoRAAdapterStore:
@@ -111,6 +131,7 @@ class LoRAAdapterStore:
         directory: Union[str, Path],
         cache_capacity: Optional[int] = 4,
         cache_max_bytes: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if cache_capacity is not None and cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1 or None, got {cache_capacity}")
@@ -121,6 +142,12 @@ class LoRAAdapterStore:
         self.cache_capacity = cache_capacity
         self.cache_max_bytes = cache_max_bytes
         self.stats = StoreStats()
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.health = ComponentHealth("adapter_store")
+        #: In read-only mode every disk write is skipped (and counted) —
+        #: the degraded state a store falls into when the disk misbehaves
+        #: persistently; serving continues from cache and blank adapters.
+        self.read_only = False
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
@@ -157,16 +184,24 @@ class LoRAAdapterStore:
     # ------------------------------------------------------------------ #
     # core operations
     # ------------------------------------------------------------------ #
-    def put(self, user_id: str, state: Dict[str, np.ndarray]) -> None:
+    def put(
+        self, user_id: str, state: Dict[str, np.ndarray], round: Optional[int] = None
+    ) -> None:
         """Store/overwrite a user's adapter (write-back: disk write deferred).
 
         The arrays are deep-copied at the boundary, so the caller (typically
         the live model about to fine-tune further) cannot mutate the stored
-        snapshot afterwards.
+        snapshot afterwards.  ``round`` updates the user's fine-tune round
+        fence; ``None`` keeps the currently cached value (0 for a new user).
         """
         validate_user_id(user_id)
         copied = clone_lora_state(state)
-        entry = _CacheEntry(state=copied, nbytes=lora_state_nbytes(copied), dirty=True)
+        previous = self._cache.get(user_id)
+        if round is None:
+            round = previous.round if previous is not None else 0
+        entry = _CacheEntry(
+            state=copied, nbytes=lora_state_nbytes(copied), dirty=True, round=int(round)
+        )
         self._cache[user_id] = entry
         self._cache.move_to_end(user_id)
         self._shrink_to_budget()
@@ -185,12 +220,29 @@ class LoRAAdapterStore:
             self._cache.move_to_end(user_id)
             return clone_lora_state(entry.state)
         self.stats.misses += 1
-        state = self._read_from_disk(user_id)
+        state, round = self._read_from_disk(user_id)
         self._cache[user_id] = _CacheEntry(
-            state=state, nbytes=lora_state_nbytes(state), dirty=False
+            state=state, nbytes=lora_state_nbytes(state), dirty=False, round=round
         )
         self._shrink_to_budget()
         return clone_lora_state(state)
+
+    def get_round(self, user_id: str) -> int:
+        """The user's persisted fine-tune round fence (0 for unknown users).
+
+        Unlike :meth:`get`, an unknown (or quarantined) user is not an
+        error here — recovery code probes rounds for users that may never
+        have reached the disk.
+        """
+        validate_user_id(user_id)
+        entry = self._cache.get(user_id)
+        if entry is not None:
+            return entry.round
+        try:
+            _, round = self._read_from_disk(user_id)
+        except KeyError:
+            return 0
+        return round
 
     def delete(self, user_id: str) -> bool:
         """Forget a user entirely (cache and disk); returns whether one existed."""
@@ -214,8 +266,9 @@ class LoRAAdapterStore:
         for target in targets:
             entry = self._cache.get(target)
             if entry is not None and entry.dirty:
-                self._write_to_disk(target, entry.state)
-                entry.dirty = False
+                self._write_to_disk(target, entry.state, entry.round)
+                if not self.read_only:
+                    entry.dirty = False
                 written += 1
         return written
 
@@ -234,11 +287,20 @@ class LoRAAdapterStore:
     # internals
     # ------------------------------------------------------------------ #
     def _shrink_to_budget(self) -> None:
-        """Evict least-recently-used entries until both budgets are met."""
+        """Evict least-recently-used entries until both budgets are met.
+
+        A dirty entry is flushed *before* it leaves the cache: if the disk
+        write fails (a :class:`StoreIOError`, real or injected), the entry
+        stays resident and dirty, so no adapter update is ever dropped on
+        the floor by an eviction racing a flaky disk.
+        """
         while self._over_budget():
-            evicted_user, entry = self._cache.popitem(last=False)
+            evicted_user, entry = next(iter(self._cache.items()))
             if entry.dirty:
-                self._write_to_disk(evicted_user, entry.state)
+                self._write_to_disk(evicted_user, entry.state, entry.round)
+                if not self.read_only:
+                    entry.dirty = False
+            self._cache.popitem(last=False)
             self.stats.evictions += 1
 
     def _over_budget(self) -> bool:
@@ -252,34 +314,94 @@ class LoRAAdapterStore:
             return True
         return False
 
-    def _write_to_disk(self, user_id: str, state: Dict[str, np.ndarray]) -> None:
+    def mark_degraded(self, reason: str, read_only: bool = False) -> None:
+        """Record degraded health; optionally stop writing to disk entirely.
+
+        Callers (typically the scheduler, after retries against this store
+        kept failing) use ``read_only=True`` to trade durability for
+        availability: cached adapters keep serving, new updates stay in
+        memory, and every skipped write is counted.
+        """
+        self.health.degrade(reason)
+        if read_only:
+            self.read_only = True
+
+    def _quarantine(self, path: Path, user_id: str, reason: str) -> None:
+        """Move a corrupt adapter file aside so the user can re-init blank.
+
+        The file is renamed to ``*.corrupt`` (``.corrupt.1``, ... when a
+        previous quarantine already parked one) rather than deleted — the
+        bytes may still matter for a post-mortem.
+        """
+        quarantine = path.with_name(path.name + ".corrupt")
+        suffix = 0
+        while quarantine.exists():
+            suffix += 1
+            quarantine = path.with_name(f"{path.name}.corrupt.{suffix}")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            # The rename itself failing must not take the server down; the
+            # next read will just re-attempt the quarantine.
+            pass
+        self.stats.quarantined += 1
+        self.health.degrade(f"quarantined corrupt adapter of {user_id!r}: {reason}")
+
+    def _write_to_disk(self, user_id: str, state: Dict[str, np.ndarray], round: int = 0) -> None:
+        if self.read_only:
+            self.stats.skipped_writes += 1
+            return
+        self.faults.store_fault("write", user_id)
         payload = {
             "format_version": ADAPTER_FORMAT_VERSION,
             "user_id": user_id,
+            "round": int(round),
             "state": state,
         }
-        atomic_pickle_dump(self.path_for(user_id), payload)
+        path = self.path_for(user_id)
+        try:
+            atomic_pickle_dump(path, payload)
+        except OSError as error:
+            self.stats.io_errors += 1
+            raise StoreIOError(f"writing adapter file {path}: {error}") from error
         self.stats.disk_writes += 1
+        self.faults.after_store_write(user_id, path)
 
-    def _read_from_disk(self, user_id: str) -> Dict[str, np.ndarray]:
+    def _read_from_disk(self, user_id: str) -> tuple:
         path = self.path_for(user_id)
         if not path.is_file():
             raise KeyError(f"no adapter stored for user {user_id!r} in {self.directory}")
+        self.faults.store_fault("read", user_id)
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
+        except OSError as error:
+            self.stats.io_errors += 1
+            raise StoreIOError(f"reading adapter file {path}: {error}") from error
         except (pickle.PickleError, EOFError, ImportError, IndexError, ValueError) as error:
-            raise AdapterStoreError(f"corrupt adapter file {path}: {error}") from error
+            # Corruption is not retryable: park the file and report the user
+            # as unknown, so the session layer re-initializes them blank
+            # instead of the whole serve run dying on one bad file.
+            self._quarantine(path, user_id, str(error))
+            raise KeyError(
+                f"no usable adapter for user {user_id!r}: corrupt file quarantined"
+            ) from error
+        problem = self._payload_problem(payload)
+        if problem is not None:
+            self._quarantine(path, user_id, problem)
+            raise KeyError(f"no usable adapter for user {user_id!r}: {problem} (quarantined)")
+        self.stats.disk_loads += 1
+        state = {
+            key: np.asarray(value, dtype=np.float32) for key, value in payload["state"].items()
+        }
+        return state, int(payload.get("round", 0))
+
+    @staticmethod
+    def _payload_problem(payload: object) -> Optional[str]:
+        """Why a decoded adapter payload is unusable (None when it is fine)."""
         if not isinstance(payload, dict) or "state" not in payload:
-            raise AdapterStoreError(f"corrupt adapter file {path}: missing 'state'")
+            return "missing 'state'"
         version = payload.get("format_version")
         if version != ADAPTER_FORMAT_VERSION:
-            raise AdapterStoreError(
-                f"adapter file {path} has format version {version!r} "
-                f"(expected {ADAPTER_FORMAT_VERSION})"
-            )
-        self.stats.disk_loads += 1
-        return {
-            key: np.asarray(value, dtype=np.float32)
-            for key, value in payload["state"].items()
-        }
+            return f"format version {version!r} (expected {ADAPTER_FORMAT_VERSION})"
+        return None

@@ -4,22 +4,47 @@ This is the glue the ``repro serve`` CLI, the serving benchmark and the
 tests share: one call builds the shared pre-trained base model, the adapter
 store, the session manager and the scheduler, generates the deterministic
 synthetic load and serves it.
+
+With a ``state_dir`` the run becomes *durable*: every request is journaled
+before it is served, personalize rounds commit through per-user engine
+checkpoints, and a crashed run — injected soft crash, ``SIGKILL``, power
+cut — resumes from the journal with at-least-once chat and exactly-once
+personalize semantics (``docs/robustness.md`` walks through every crash
+window).  Soft crashes (:class:`~repro.serve.faults.InjectedCrash`) are
+restarted inside the same process: the base model's runtime state is
+snapshotted once and restored per restart, so an in-process "reboot" serves
+from bit-identical weights and RNG streams, exactly like a real one.
 """
 
 from __future__ import annotations
 
+import signal
 import tempfile
-from dataclasses import dataclass, field
+import threading
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
+import numpy as np
+
+from repro.core.checkpoint import CheckpointError, CheckpointManager
 from repro.data.lexicons import LexiconCollection, builtin_lexicons
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.llm.generation import GenerationConfig
 from repro.llm.model import OnDeviceLLM
 from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.errors import RetryPolicy, TransientServingError
+from repro.serve.faults import FaultInjector, FaultPlan, InjectedCrash
+from repro.serve.journal import (
+    JOURNAL_FILE,
+    JournalError,
+    JournalReplay,
+    RequestJournal,
+    journal_digest,
+    replay,
+)
 from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load
-from repro.serve.scheduler import RequestScheduler, ServeReport
+from repro.serve.scheduler import PersonalizeRequest, RequestScheduler, ServeReport
 from repro.serve.session import SessionManager, serving_framework_config
 
 
@@ -30,6 +55,17 @@ class ServeOutcome:
     report: ServeReport
     transcript: List[dict] = field(default_factory=list)
     adapter_dir: Optional[Path] = None
+    state_dir: Optional[Path] = None
+    #: Order-independent digest of everything the journal saw finish —
+    #: completed ∪ replayed ∪ dead-lettered, keyed by request id.  This is
+    #: the fingerprint the chaos suite compares across kill/resume runs.
+    journal_digest: Optional[str] = None
+    #: In-process restarts taken after injected soft crashes.
+    restarts: int = 0
+    #: Personalize rounds that recovery found committed but unmarked and
+    #: rolled forward without re-applying (the exactly-once path).
+    replayed_requests: int = 0
+    faults: Optional[dict] = None
 
     @property
     def digest(self) -> str:
@@ -43,6 +79,7 @@ def make_session_manager(
     scale: ExperimentScale,
     seed: int = 0,
     lexicons: Optional[LexiconCollection] = None,
+    checkpoint_root: Optional[Union[str, Path]] = None,
 ) -> SessionManager:
     """A session manager whose per-user frameworks follow the scale preset.
 
@@ -68,6 +105,7 @@ def make_session_manager(
         lexicons=lexicons or builtin_lexicons(),
         framework_config_factory=framework_config,
         seed=seed,
+        checkpoint_root=checkpoint_root,
     )
 
 
@@ -80,6 +118,137 @@ def serving_generation_config(llm: OnDeviceLLM, scale: ExperimentScale) -> Gener
     )
 
 
+# ---------------------------------------------------------------------- #
+# recovery
+# ---------------------------------------------------------------------- #
+def adapter_state_from_model_section(model_section: dict) -> Dict[str, np.ndarray]:
+    """Extract the LoRA adapter from a checkpoint's model runtime section.
+
+    The full model ``state_dict`` names LoRA tensors ``<module>.lora_a`` /
+    ``<module>.lora_b`` in module order, while the adapter-only format is
+    ``adapter.<i>.lora_a`` / ``adapter.<i>.lora_b`` with ``i`` counting
+    adapters in the same order — so pairing by suffix and position is exact.
+    Recovery uses this to roll a user's adapter forward from a committed
+    checkpoint without constructing (or disturbing) an engine.
+    """
+    adapter: Dict[str, np.ndarray] = {}
+    index_a = index_b = 0
+    for key, value in model_section["state_dict"].items():
+        if key.endswith(".lora_a"):
+            adapter[f"adapter.{index_a}.lora_a"] = np.array(value, copy=True)
+            index_a += 1
+        elif key.endswith(".lora_b"):
+            adapter[f"adapter.{index_b}.lora_b"] = np.array(value, copy=True)
+            index_b += 1
+    return adapter
+
+
+def _restore_shared_streams(checkpoint_root: Path, llm: OnDeviceLLM) -> int:
+    """Restore shared RNG streams from the latest committed checkpoint.
+
+    The generation and dropout RNG streams live in the shared model and
+    advance with *every* user's fine-tune round, so after a restart they
+    must resume from where the last committed round left them — not from
+    the process-start snapshot, and not from whichever user happens to be
+    restored first.  The latest commit is found by the monotonic
+    ``commit_seq`` each personalize commit stamps into its manifest.
+    Returns the highest sequence number seen (0 when no commits exist),
+    which the new scheduler continues from.
+    """
+    latest_seq = 0
+    latest_manager: Optional[CheckpointManager] = None
+    if checkpoint_root.is_dir():
+        for user_dir in sorted(checkpoint_root.iterdir()):
+            checkpoints = CheckpointManager(user_dir)
+            if not checkpoints.exists():
+                continue
+            try:
+                manifest = checkpoints.manifest()
+            except CheckpointError:
+                continue
+            seq = int((manifest.get("extra") or {}).get("commit_seq", 0))
+            if seq > latest_seq:
+                latest_seq = seq
+                latest_manager = checkpoints
+    if latest_manager is not None:
+        try:
+            llm.load_rng_streams(latest_manager.load_state()["model"])
+        except (CheckpointError, KeyError, ValueError):
+            # Streams stay at the reboot snapshot; serving still works, only
+            # bit-exact equivalence with the uninterrupted run is lost.
+            pass
+    return latest_seq
+
+
+def _check_journal_meta(past: JournalReplay, load: LoadConfig) -> None:
+    """Refuse to resume a journal that was written for a different workload."""
+    if past.meta is None:
+        return
+    recorded = past.meta.get("load")
+    if recorded is not None and recorded != asdict(load):
+        raise JournalError(
+            "journal was recorded for a different load configuration; "
+            f"refusing to resume (journaled {recorded!r}, requested {asdict(load)!r})"
+        )
+
+
+def _roll_forward(
+    past: JournalReplay,
+    store: LoRAAdapterStore,
+    manager: SessionManager,
+    journal: RequestJournal,
+) -> Dict[int, dict]:
+    """Finish personalize rounds that committed but were never marked done.
+
+    A crash between the checkpoint commit and the journal's ``complete``
+    record leaves a pending personalize request whose user checkpoint
+    manifest carries exactly that request id in ``extra`` — proof the round
+    was fully applied.  Recovery replays the *outcome* (the transcript entry
+    stored in ``extra``), syncs the adapter + round fence from the
+    checkpoint, and marks the request complete, all without re-applying.
+    Returns the replayed entries keyed by request id.
+    """
+    replayed: Dict[int, dict] = {}
+    for request_id in sorted(past.enqueued):
+        request = past.enqueued[request_id]
+        if past.is_finished(request_id) or not isinstance(request, PersonalizeRequest):
+            continue
+        manager_dir = manager.session_checkpoint_dir(request.user_id)
+        checkpoints = CheckpointManager(manager_dir)
+        if not checkpoints.exists():
+            continue
+        try:
+            manifest = checkpoints.manifest()
+        except CheckpointError:
+            continue
+        extra = manifest.get("extra") or {}
+        if extra.get("request_id") != request_id or not extra.get("entry"):
+            continue
+        round_committed = int(extra.get("round", manifest.get("finetune_rounds", 0)))
+        try:
+            if store.get_round(request.user_id) < round_committed:
+                state = checkpoints.load_state()
+                store.put(
+                    request.user_id,
+                    adapter_state_from_model_section(state["model"]),
+                    round=round_committed,
+                )
+                store.flush(request.user_id)
+        except (CheckpointError, TransientServingError) as error:
+            # Best effort only: the lazy session restore syncs the cache on
+            # the user's next touch, and the checkpoint keeps the truth.
+            store.health.degrade(
+                f"roll-forward adapter sync for {request.user_id!r} failed: {error}"
+            )
+        entry = dict(extra["entry"])
+        journal.record_complete([entry])
+        replayed[request_id] = entry
+    return replayed
+
+
+# ---------------------------------------------------------------------- #
+# the entry point
+# ---------------------------------------------------------------------- #
 def run_serve(
     load: LoadConfig,
     scale: Optional[ExperimentScale] = None,
@@ -89,6 +258,14 @@ def run_serve(
     lexicons: Optional[LexiconCollection] = None,
     pretrain_epochs: Optional[int] = None,
     llm: Optional[OnDeviceLLM] = None,
+    state_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    deadline_seconds: Optional[float] = None,
+    fsync: bool = False,
+    max_restarts: int = 8,
+    install_signal_handlers: bool = False,
 ) -> ServeOutcome:
     """Serve one synthetic workload end to end; returns the outcome.
 
@@ -96,9 +273,20 @@ def run_serve(
     directory that is discarded after the run (the report keeps the store
     statistics).  Pass ``llm`` to reuse an already-built base model — the
     benchmark does this to compare scheduling policies on identical weights.
+
+    With ``state_dir`` the run is durable (journal + per-user checkpoints
+    under that directory, adapters in ``<state_dir>/adapters`` unless
+    ``adapter_dir`` overrides).  ``resume=False`` requires a fresh journal;
+    ``resume=True`` replays an existing one: finished requests are skipped,
+    committed-but-unmarked personalize rounds are rolled forward, and
+    everything else is re-served.  Injected *soft* crashes restart in
+    process (up to ``max_restarts`` times) from a snapshot of the base
+    model's runtime state; a hard crash (``SIGKILL``) needs a new process
+    calling back with ``resume=True``.
     """
     scale = scale or get_scale("smoke", seed=load.seed)
     lexicons = lexicons or builtin_lexicons()
+    faults = FaultInjector(fault_plan) if fault_plan is not None else None
     if llm is None:
         llm = build_serving_llm(
             scale,
@@ -107,29 +295,157 @@ def run_serve(
             lexicons=lexicons,
             pretrain_epochs=pretrain_epochs,
         )
+    generation = serving_generation_config(llm, scale)
 
-    temporary: Optional[tempfile.TemporaryDirectory] = None
-    if adapter_dir is None:
-        temporary = tempfile.TemporaryDirectory(prefix="repro-adapters-")
-        store_dir = Path(temporary.name)
-    else:
-        store_dir = Path(adapter_dir)
-    try:
-        store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity)
-        manager = make_session_manager(llm, store, scale, seed=load.seed, lexicons=lexicons)
+    if state_dir is None:
+        if fault_plan is not None and fault_plan.crash_point is not None:
+            raise ValueError("crash injection requires a state_dir to recover from")
+        temporary: Optional[tempfile.TemporaryDirectory] = None
+        if adapter_dir is None:
+            temporary = tempfile.TemporaryDirectory(prefix="repro-adapters-")
+            store_dir = Path(temporary.name)
+        else:
+            store_dir = Path(adapter_dir)
+        try:
+            store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity, faults=faults)
+            manager = make_session_manager(llm, store, scale, seed=load.seed, lexicons=lexicons)
+            scheduler = RequestScheduler(
+                manager,
+                max_batch_size=max_batch_size,
+                generation=generation,
+                faults=faults,
+                retry=retry,
+                deadline_seconds=deadline_seconds,
+            )
+            scheduler.submit_many(generate_load(load, lexicons=lexicons))
+            report = scheduler.run()
+            _flush_tolerantly(manager)
+            return ServeOutcome(
+                report=report,
+                transcript=list(scheduler.transcript),
+                adapter_dir=None if temporary is not None else store_dir,
+                faults=None if faults is None else faults.report(),
+            )
+        finally:
+            if temporary is not None:
+                temporary.cleanup()
+
+    # ------------------------------------------------------------------ #
+    # durable serving
+    # ------------------------------------------------------------------ #
+    state_path = Path(state_dir)
+    state_path.mkdir(parents=True, exist_ok=True)
+    journal_path = state_path / JOURNAL_FILE
+    checkpoint_root = state_path / "sessions"
+    store_dir = Path(adapter_dir) if adapter_dir is not None else state_path / "adapters"
+    if journal_path.exists() and not resume:
+        raise JournalError(
+            f"journal already exists at {journal_path}; pass resume=True to replay it"
+        )
+
+    runtime_snapshot: Optional[dict] = None
+    restarts = 0
+    replayed_total = 0
+    while True:
+        store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity, faults=faults)
+        manager = make_session_manager(
+            llm, store, scale, seed=load.seed, lexicons=lexicons, checkpoint_root=checkpoint_root
+        )
+        if runtime_snapshot is None:
+            # Taken after the manager injected LoRA: restoring this snapshot
+            # is the in-process equivalent of a reboot — same weights, same
+            # RNG streams as a freshly started server.
+            runtime_snapshot = llm.export_runtime_state()
+        commit_seq = _restore_shared_streams(checkpoint_root, llm)
+        journal = RequestJournal(journal_path, fsync=fsync)
         scheduler = RequestScheduler(
             manager,
             max_batch_size=max_batch_size,
-            generation=serving_generation_config(llm, scale),
+            generation=generation,
+            journal=journal,
+            faults=faults,
+            retry=retry,
+            deadline_seconds=deadline_seconds,
+            commit_seq_start=commit_seq,
         )
-        scheduler.submit_many(generate_load(load, lexicons=lexicons))
-        report = scheduler.run()
+        restore_handlers = _install_stop_handlers(scheduler) if install_signal_handlers else None
+        try:
+            past = replay(journal_path)
+            _check_journal_meta(past, load)
+            if past.dropped_records:
+                journal.health.degrade(
+                    f"dropped {past.dropped_records} corrupt journal record(s) on replay"
+                )
+            if past.meta is None:
+                journal.record_meta({"load": asdict(load), "scale": scale.name})
+            replayed = _roll_forward(past, store, manager, journal)
+            replayed_total += len(replayed)
+            for request in generate_load(load, lexicons=lexicons):
+                request_id = request.request_id
+                if past.is_finished(request_id) or request_id in replayed:
+                    continue
+                scheduler.submit(request, journal_record=request_id not in past.enqueued)
+            report = scheduler.run()
+            _flush_tolerantly(manager)
+            journal.close()
+            break
+        except InjectedCrash:
+            journal.close()
+            restarts += 1
+            if restarts > max_restarts:
+                raise RuntimeError(
+                    f"gave up after {max_restarts} injected-crash restarts"
+                ) from None
+            llm.load_runtime_state(runtime_snapshot)
+        finally:
+            if restore_handlers is not None:
+                restore_handlers()
+    return ServeOutcome(
+        report=report,
+        transcript=list(scheduler.transcript),
+        adapter_dir=store_dir,
+        state_dir=state_path,
+        journal_digest=journal_digest(journal_path),
+        restarts=restarts,
+        replayed_requests=replayed_total,
+        faults=None if faults is None else faults.report(),
+    )
+
+
+def _flush_tolerantly(manager: SessionManager) -> None:
+    """Final adapter flush; a transient failure degrades instead of raising.
+
+    Everything that matters for recovery is already durable (journal +
+    checkpoints), so a store hiccup at the very end must not fail a run that
+    served every request.
+    """
+    try:
         manager.flush()
-        return ServeOutcome(
-            report=report,
-            transcript=list(scheduler.transcript),
-            adapter_dir=None if temporary is not None else store_dir,
-        )
-    finally:
-        if temporary is not None:
-            temporary.cleanup()
+    except TransientServingError as error:
+        manager.store.health.degrade(f"final adapter flush failed: {error}")
+
+
+def _install_stop_handlers(scheduler: RequestScheduler):
+    """SIGINT/SIGTERM → graceful drain; returns a restore callback (or None).
+
+    Signal handlers only work in the main thread; elsewhere (tests running
+    under pytest-xdist workers, notebooks) this silently does nothing.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    previous = {}
+
+    def handle(signum, frame):
+        scheduler.request_stop()
+
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handle)
+    except ValueError:
+        return None
+
+    def restore() -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return restore

@@ -22,6 +22,25 @@ Everything is deterministic for a fixed seed: the transcript (request ids,
 questions, responses, personalization outcomes — no wall-clock fields) is
 hashed into a digest, and two runs from identical seeds produce identical
 digests.
+
+Robustness (optional, all off by default):
+
+* a :class:`~repro.serve.journal.RequestJournal` records every submission
+  and every finished turn, making the scheduler restartable (see
+  ``docs/robustness.md`` for the full protocol);
+* a :class:`~repro.serve.errors.RetryPolicy` retries transient failures
+  (store I/O, injected faults) with capped exponential backoff and
+  deterministic jitter; chats that exhaust retries fall back to
+  blank-adapter degraded serving before dead-lettering;
+* a per-request ``deadline_seconds`` dead-letters work whose (virtual,
+  fault-injected) latency exceeds the budget — checked for personalize jobs
+  *before* any state changes, never after, so a deadline can never
+  dead-letter an already-applied fine-tune;
+* personalize turns run a write-ahead protocol — journal intent →
+  in-memory apply → per-user engine checkpoint (the manifest write is the
+  atomic commit point) → adapter flush → journal complete — which, fenced
+  by the per-user round counter persisted with the adapter, makes
+  fine-tunes exactly-once across crashes while chats stay at-least-once.
 """
 
 from __future__ import annotations
@@ -29,13 +48,27 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.data.dialogue import DialogueSet
 from repro.llm.generation import GenerationConfig
+from repro.serve.errors import (
+    DeadlineExceededError,
+    RetryPolicy,
+    ServingError,
+    TransientServingError,
+)
+from repro.serve.faults import NO_FAULTS, FaultInjector
+from repro.serve.health import ComponentHealth
 from repro.serve.session import SessionManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (journal imports us)
+    from repro.serve.journal import RequestJournal
 
 CHAT = "chat"
 PERSONALIZE = "personalize"
@@ -92,6 +125,11 @@ class ServeReport:
     store: Dict[str, float] = field(default_factory=dict)
     per_user: Dict[str, Dict[str, int]] = field(default_factory=dict)
     turn_users: List[str] = field(default_factory=list)
+    dead_letter_requests: int = 0
+    degraded_chat_requests: int = 0
+    retries: int = 0
+    stopped_early: bool = False
+    health: Dict[str, dict] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready view (written as ``serve_result.json`` by the CLI)."""
@@ -108,6 +146,11 @@ class ServeReport:
             "store": dict(self.store),
             "per_user": {user: dict(counts) for user, counts in self.per_user.items()},
             "turn_users": list(self.turn_users),
+            "dead_letter_requests": self.dead_letter_requests,
+            "degraded_chat_requests": self.degraded_chat_requests,
+            "retries": self.retries,
+            "stopped_early": self.stopped_early,
+            "health": {name: dict(state) for name, state in self.health.items()},
         }
 
 
@@ -125,30 +168,70 @@ class RequestScheduler:
         sessions: SessionManager,
         max_batch_size: int = 8,
         generation: Optional[GenerationConfig] = None,
+        journal: Optional["RequestJournal"] = None,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        commit_seq_start: int = 0,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be > 0, got {deadline_seconds}")
         self.sessions = sessions
         self.max_batch_size = max_batch_size
         self.generation = generation
+        self.journal = journal
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        #: Whether personalize turns commit through per-user engine
+        #: checkpoints (requires the session manager's checkpoint root).
+        self.checkpoint_sessions = sessions.checkpoint_root is not None
+        # Global commit order across restarts: each personalize commit gets
+        # the next sequence number, so recovery can identify the *latest*
+        # committed checkpoint (whose model section holds the authoritative
+        # shared RNG stream positions).  A resumed scheduler starts above
+        # every sequence number already on disk.
+        self._commit_seq = commit_seq_start
+        self.health = ComponentHealth("scheduler")
         self._queues: Dict[str, Deque[Request]] = {}
         self._ring: List[str] = []  # users with pending work, in arrival order
         self._ring_members: set = set()
         self._cursor = 0
         self._next_request_id = 0
+        self._stop_requested = False
         self.transcript: List[dict] = []
         self.turns: List[ServeTurn] = []
+        self.dead_letters: List[dict] = []
+        self.retries = 0
+        self.degraded_chats = 0
+        # Backoff jitter draws from a dedicated seeded stream so retrying
+        # never perturbs any model RNG — transcripts stay digest-identical
+        # whether or not a run needed retries.
+        self._retry_rng = np.random.default_rng(
+            zlib.crc32(b"retry-jitter") ^ (sessions.seed & 0x7FFFFFFF)
+        )
 
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
-    def submit(self, request: Request) -> Request:
-        """Enqueue one request; assigns a sequential id when none is set."""
+    def submit(self, request: Request, journal_record: bool = True) -> Request:
+        """Enqueue one request; assigns a sequential id when none is set.
+
+        With a journal attached the request is journaled *before* it enters
+        the in-memory queue — once ``submit`` returns, the request survives
+        a crash.  ``journal_record=False`` re-enqueues a request the journal
+        already knows (the resubmission path after a restart).
+        """
         if not isinstance(request, (ChatRequest, PersonalizeRequest)):
             raise TypeError(f"unsupported request type {type(request)!r}")
         if request.request_id is None:
             request = replace(request, request_id=self._next_request_id)
         self._next_request_id = max(self._next_request_id, request.request_id + 1)
+        if self.journal is not None and journal_record:
+            self.journal.record_enqueue(request)
+        self.faults.crash_point("submit.after_journal")
         queue = self._queues.get(request.user_id)
         if queue is None:
             queue = deque()
@@ -161,18 +244,47 @@ class RequestScheduler:
         queue.append(request)
         return request
 
-    def submit_many(self, requests: Sequence[Request]) -> List[Request]:
+    def submit_many(
+        self, requests: Sequence[Request], journal_record: bool = True
+    ) -> List[Request]:
         """Enqueue several requests in order; returns them with ids assigned."""
-        return [self.submit(request) for request in requests]
+        return [self.submit(request, journal_record=journal_record) for request in requests]
 
     @property
     def pending_count(self) -> int:
         """Requests currently queued."""
         return sum(len(queue) for queue in self._queues.values())
 
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to stop at the next turn boundary (graceful drain).
+
+        The in-flight batch finishes and is journaled; everything still
+        queued stays journaled as enqueued-but-unfinished, so a later run —
+        same process or a restart — replays it.  This is what the runner's
+        signal handlers call.
+        """
+        self._stop_requested = True
+
     # ------------------------------------------------------------------ #
     # the serving loop
     # ------------------------------------------------------------------ #
+    def _next_user(self) -> Optional[str]:
+        """The next round-robin user with pending work (None when drained).
+
+        Emptied queues are unlinked from the ring as they are met, so a ring
+        full of drained users (e.g. after their requests dead-lettered) is
+        skipped in one bounded sweep instead of stalling the loop.
+        """
+        while self._ring:
+            if self._cursor >= len(self._ring):
+                self._cursor = 0
+            user = self._ring[self._cursor]
+            if self._queues.get(user):
+                return user
+            del self._ring[self._cursor]
+            self._ring_members.discard(user)
+        return None
+
     def run(self) -> ServeReport:
         """Serve every queued request; returns the serving report.
 
@@ -184,20 +296,26 @@ class RequestScheduler:
         start = time.perf_counter()
         turns_start = len(self.turns)
         transcript_start = len(self.transcript)
+        dead_letters_start = len(self.dead_letters)
+        retries_start = self.retries
+        degraded_start = self.degraded_chats
         store_before = self.sessions.store.stats.to_dict()
         chat_count = 0
         personalize_count = 0
-        while self._ring:
-            if self._cursor >= len(self._ring):
-                self._cursor = 0
-            user = self._ring[self._cursor]
+        stopped_early = False
+        while True:
+            if self._stop_requested:
+                self._stop_requested = False
+                stopped_early = self._next_user() is not None
+                if stopped_early:
+                    self.health.degrade("stopped early: drained in-flight work on request")
+                break
+            user = self._next_user()
+            if user is None:
+                break
             queue = self._queues[user]
-            if not queue:
-                del self._ring[self._cursor]
-                self._ring_members.discard(user)
-                continue
             turn_start = time.perf_counter()
-            swap_seconds = self.sessions.attach(user)
+            self.faults.crash_point("turn.before_serve")
             if isinstance(queue[0], ChatRequest):
                 batch: List[ChatRequest] = []
                 while (
@@ -206,13 +324,13 @@ class RequestScheduler:
                     and len(batch) < self.max_batch_size
                 ):
                     batch.append(queue.popleft())
-                self._serve_chat_batch(user, batch)
+                swap_seconds = self._serve_chat_turn(user, batch)
                 kind = CHAT
                 request_ids = [request.request_id for request in batch]
                 chat_count += len(batch)
             else:
                 request = queue.popleft()
-                self._serve_personalize(user, request)
+                swap_seconds = self._serve_personalize_turn(user, request)
                 kind = PERSONALIZE
                 request_ids = [request.request_id]
                 personalize_count += 1
@@ -227,11 +345,9 @@ class RequestScheduler:
                     seconds=time.perf_counter() - turn_start,
                 )
             )
-            if queue:
-                self._cursor += 1
-            else:
-                del self._ring[self._cursor]
-                self._ring_members.discard(user)
+            # Strict round-robin: move past the user just served so one heavy
+            # queue cannot monopolize consecutive turns.
+            self._cursor += 1
         elapsed = time.perf_counter() - start
         total = chat_count + personalize_count
         # The report covers *this* run only; `self.turns`/`self.transcript`
@@ -271,41 +387,214 @@ class RequestScheduler:
             store=store_stats,
             per_user=per_user,
             turn_users=[turn.user_id for turn in run_turns],
+            dead_letter_requests=len(self.dead_letters) - dead_letters_start,
+            degraded_chat_requests=self.degraded_chats - degraded_start,
+            retries=self.retries - retries_start,
+            stopped_early=stopped_early,
+            health=self.health_report(),
         )
+
+    def health_report(self) -> Dict[str, dict]:
+        """The health of every serving component, keyed by component name."""
+        components = [
+            self.health,
+            self.sessions.health,
+            self.sessions.store.health,
+        ]
+        if self.journal is not None:
+            components.append(self.journal.health)
+        return {component.component: component.to_dict() for component in components}
+
+    # ------------------------------------------------------------------ #
+    # retry / dead-letter plumbing
+    # ------------------------------------------------------------------ #
+    def _with_retries(self, operation):
+        """Run ``operation``, retrying transient failures per the policy."""
+        attempt = 1
+        while True:
+            try:
+                return operation()
+            except TransientServingError:
+                if self.retry is None or attempt >= self.retry.max_attempts:
+                    raise
+                self.retries += 1
+                time.sleep(self.retry.delay(attempt, self._retry_rng))
+                attempt += 1
+
+    def _dead_letter(self, request: Request, kind: str, error: BaseException) -> dict:
+        """Record one poisoned request; it will never be retried again."""
+        entry = {
+            "request_id": request.request_id,
+            "user_id": request.user_id,
+            "kind": kind,
+            "dead_letter": True,
+            "error": type(error).__name__,
+            "reason": str(error),
+        }
+        self.dead_letters.append(entry)
+        self.transcript.append(entry)
+        if self.journal is not None:
+            self.journal.record_dead_letter(entry)
+        self.health.degrade(f"dead-lettered request {request.request_id} ({type(error).__name__})")
+        return entry
+
+    def _check_deadline(self, batch_size: int) -> Optional[DeadlineExceededError]:
+        """The deadline violation for the next serve, if any.
+
+        Latency is *virtual*: the fault injector decides how slow the next
+        session serve is, and that virtual latency is charged against the
+        per-request deadline.  Chaos runs therefore stay fast and, unlike a
+        wall-clock deadline, perfectly deterministic.
+        """
+        delay = self.faults.session_delay()
+        if self.deadline_seconds is not None and delay > self.deadline_seconds:
+            return DeadlineExceededError(
+                f"session latency {delay:.1f}s exceeds the "
+                f"{self.deadline_seconds:.1f}s deadline ({batch_size} request(s))"
+            )
+        return None
 
     # ------------------------------------------------------------------ #
     # per-kind serving
     # ------------------------------------------------------------------ #
-    def _serve_chat_batch(self, user: str, batch: Sequence[ChatRequest]) -> None:
-        responses = self.sessions.respond(
-            user,
-            [request.question for request in batch],
-            generation=self.generation,
-        )
-        for request, response in zip(batch, responses):
-            self.transcript.append(
-                {
-                    "request_id": request.request_id,
-                    "user_id": user,
-                    "kind": CHAT,
-                    "question": request.question,
-                    "response": response,
-                }
+    def _serve_chat_turn(self, user: str, batch: Sequence[ChatRequest]) -> float:
+        """Serve one chat batch; returns the swap latency in seconds.
+
+        Failure ladder: transient errors are retried; exhausted retries fall
+        back to blank-adapter degraded serving (an answer from the shared
+        base model beats no answer); only when even that fails — or a
+        deadline/permanent error strikes — does the batch dead-letter.
+        """
+        questions = [request.question for request in batch]
+        deadline_error = self._check_deadline(len(batch))
+        if deadline_error is not None:
+            for request in batch:
+                self._dead_letter(request, CHAT, deadline_error)
+            return 0.0
+        degraded = False
+        swap_seconds = 0.0
+
+        def respond() -> Tuple[List[str], float]:
+            swap = self.sessions.attach(user)
+            return (
+                self.sessions.respond(user, questions, generation=self.generation),
+                swap,
             )
 
-    def _serve_personalize(self, user: str, request: PersonalizeRequest) -> None:
+        try:
+            responses, swap_seconds = self._with_retries(respond)
+        except TransientServingError:
+            try:
+                responses = self.sessions.respond_degraded(
+                    user, questions, generation=self.generation
+                )
+                degraded = True
+                self.degraded_chats += len(batch)
+            except ServingError as fallback_error:
+                for request in batch:
+                    self._dead_letter(request, CHAT, fallback_error)
+                return 0.0
+        except ServingError as error:
+            for request in batch:
+                self._dead_letter(request, CHAT, error)
+            return 0.0
+        self.faults.crash_point("chat.after_serve")
+        entries = []
+        for request, response in zip(batch, responses):
+            entry = {
+                "request_id": request.request_id,
+                "user_id": user,
+                "kind": CHAT,
+                "question": request.question,
+                "response": response,
+            }
+            if degraded:
+                entry["degraded"] = True
+            entries.append(entry)
+        self.transcript.extend(entries)
+        if self.journal is not None:
+            self.journal.record_complete(entries)
+        return swap_seconds
+
+    def _serve_personalize_turn(self, user: str, request: PersonalizeRequest) -> float:
+        """Serve one personalize job exactly once; returns the swap latency.
+
+        The write-ahead sequence (crash points in parentheses):
+
+        1. deadline check — *before* any state changes, never after;
+        2. attach the user's adapter, with retries (safe: attaching mutates
+           nothing durable);
+        3. journal the intent with the round counter as it stands
+           (``personalize.after_intent``);
+        4. apply in memory — pipeline stages + fine-tune round
+           (``personalize.after_apply``);
+        5. commit: per-user engine checkpoint whose manifest carries
+           ``{request_id, round, entry}`` (``personalize.after_commit``);
+        6. flush the adapter (with its round fence) to disk, with retries
+           (``personalize.after_flush``);
+        7. journal completion.
+
+        A crash before 5 leaves no durable trace of the round, so replay
+        re-applies from identical state (same result, by determinism); a
+        crash after 5 is detected by recovery, which rolls the adapter
+        forward from the checkpoint and marks the request complete without
+        re-applying.  Personalize jobs cannot run degraded: training against
+        the blank adapter would silently fork the user's personalization, so
+        persistent failure dead-letters instead.
+        """
+        deadline_error = self._check_deadline(1)
+        if deadline_error is not None:
+            self._dead_letter(request, PERSONALIZE, deadline_error)
+            return 0.0
+        try:
+            swap_seconds = self._with_retries(lambda: self.sessions.attach(user))
+            session = self.sessions.session(user)
+        except ServingError as error:
+            self._dead_letter(request, PERSONALIZE, error)
+            return 0.0
+        engine = session.framework.engine
+        round_before = engine.finetune_round_count
+        if self.journal is not None:
+            self.journal.record_intent(request.request_id, user, round_before)
+        self.faults.crash_point("personalize.after_intent")
         outcome = self.sessions.personalize(
             user, list(request.dialogues), finetune=request.finetune
         )
+        self.faults.crash_point("personalize.after_apply")
         final_loss = round(outcome.report.final_loss, 8) if outcome.report is not None else None
-        self.transcript.append(
-            {
-                "request_id": request.request_id,
-                "user_id": user,
-                "kind": PERSONALIZE,
-                "offered": outcome.offered,
-                "accepted": outcome.accepted,
-                "finetuned": outcome.finetuned,
-                "final_loss": final_loss,
-            }
-        )
+        entry = {
+            "request_id": request.request_id,
+            "user_id": user,
+            "kind": PERSONALIZE,
+            "offered": outcome.offered,
+            "accepted": outcome.accepted,
+            "finetuned": outcome.finetuned,
+            "final_loss": final_loss,
+        }
+        if self.checkpoint_sessions:
+            self._commit_seq += 1
+            self.sessions.checkpoint_session(
+                user,
+                extra={
+                    "request_id": request.request_id,
+                    "round": engine.finetune_round_count,
+                    "commit_seq": self._commit_seq,
+                    "entry": entry,
+                },
+            )
+        self.faults.crash_point("personalize.after_commit")
+        try:
+            self._with_retries(lambda: self.sessions.flush())
+        except TransientServingError as error:
+            # The round is committed (checkpoint manifest written); recovery
+            # can roll the adapter forward from it, so a failed flush only
+            # degrades the store instead of undoing an applied fine-tune.
+            self.sessions.store.health.degrade(f"post-commit adapter flush failed: {error}")
+        self.faults.crash_point("personalize.after_flush")
+        self.transcript.append(entry)
+        if self.journal is not None:
+            self.journal.record_complete([entry])
+        return swap_seconds
+    # NOTE: sessions.personalize itself tolerates a transient write-back
+    # failure (the user stays dirty and the next flush retries), so step 4
+    # never double-applies: there is no retry wrapped around the apply.

@@ -29,10 +29,12 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
+from repro.core.checkpoint import CheckpointError, CheckpointManager
 from repro.core.framework import FrameworkConfig, PersonalizationFramework
 from repro.core.synthesis import SynthesisConfig
 from repro.data.dialogue import DialogueSet
@@ -42,6 +44,8 @@ from repro.llm.generation import GenerationConfig
 from repro.llm.model import OnDeviceLLM
 from repro.nn.lora import LoRAConfig, clone_lora_state
 from repro.serve.adapter_store import LoRAAdapterStore, validate_user_id
+from repro.serve.errors import TransientServingError
+from repro.serve.health import ComponentHealth
 
 
 def user_seed(user_id: str, base_seed: int = 0) -> int:
@@ -150,12 +154,19 @@ class SessionManager:
         generation: Optional[GenerationConfig] = None,
         framework_config_factory: Optional[Callable[[int], FrameworkConfig]] = None,
         seed: int = 0,
+        checkpoint_root: Optional[Union[str, Path]] = None,
     ) -> None:
         self.llm = llm
         self.store = store
         self.lexicons = lexicons or builtin_lexicons()
         self.generation = generation
         self.seed = seed
+        #: With a checkpoint root set, every user's engine state is persisted
+        #: after each personalize round (manifest-last, so the write is the
+        #: atomic commit point) and restored on first touch after a restart.
+        self.checkpoint_root = Path(checkpoint_root) if checkpoint_root is not None else None
+        self.health = ComponentHealth("sessions")
+        self._degraded_users: Set[str] = set()
         llm.add_lora(lora_config)
         # The blank adapter every new user starts from: the current A matrices
         # with B forced to zero, which is an exact no-op on the base model.
@@ -230,7 +241,11 @@ class SessionManager:
         export, no copy and no eventual disk write.
         """
         if self._active_user is not None and self._active_user in self._dirty:
-            self.store.put(self._active_user, self.llm.export_adapter_state())
+            round_count: Optional[int] = None
+            session = self._sessions.get(self._active_user)
+            if session is not None:
+                round_count = session.framework.engine.finetune_round_count
+            self.store.put(self._active_user, self.llm.export_adapter_state(), round=round_count)
             self._dirty.discard(self._active_user)
 
     def detach(self) -> None:
@@ -250,7 +265,16 @@ class SessionManager:
     # per-user sessions
     # ------------------------------------------------------------------ #
     def session(self, user_id: str) -> UserSession:
-        """The (lazily created) serving session of ``user_id``."""
+        """The (lazily created) serving session of ``user_id``.
+
+        When a checkpoint root is configured and this user has a complete
+        checkpoint, the fresh session is restored from it before first use
+        — the restart half of the durable-serving protocol.  The user's
+        adapter is attached *first* so the checkpointed runtime (which
+        includes the trained adapter inside the model section) lands on a
+        consistent shared model and the manager's active-user bookkeeping
+        stays truthful.
+        """
         validate_user_id(user_id)
         session = self._sessions.get(user_id)
         if session is None:
@@ -262,12 +286,67 @@ class SessionManager:
             )
             session = UserSession(user_id=user_id, seed=seed, framework=framework)
             self._sessions[user_id] = session
+            if self.checkpoint_root is not None:
+                manager = CheckpointManager(self.session_checkpoint_dir(user_id))
+                if manager.exists():
+                    try:
+                        self.attach(user_id)
+                        # The checkpointed model section carries the shared
+                        # generation/dropout RNG streams as of *this user's*
+                        # last commit; restoring them here would rewind
+                        # streams other users' rounds have since advanced.
+                        # Streams are a global resource — the durable runner
+                        # restores them once, from the latest commit — so
+                        # the per-user restore must leave them untouched.
+                        streams = self.llm.export_rng_streams()
+                        manager.restore(framework.engine)
+                        self.llm.load_rng_streams(streams)
+                    except CheckpointError as error:
+                        # A corrupt per-user checkpoint must not take the
+                        # whole server down: serve from the stored adapter
+                        # (or blank) and flag the degradation.
+                        self.health.degrade(
+                            f"discarded corrupt checkpoint for {user_id!r}: {error}"
+                        )
+                    else:
+                        session.finetune_rounds = framework.engine.finetune_round_count
+                        # The restored runtime carries the adapter as of the
+                        # checkpoint; re-sync the store's cached copy so a
+                        # crash-between-commit-and-flush window cannot leave
+                        # the store a round behind the engine.
+                        self.store.put(
+                            user_id,
+                            self.llm.export_adapter_state(),
+                            round=session.finetune_rounds,
+                        )
         return session
 
     @property
     def sessions(self) -> Dict[str, UserSession]:
         """Every session created so far, keyed by user id (live view)."""
         return self._sessions
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+    def session_checkpoint_dir(self, user_id: str) -> Path:
+        """Where ``user_id``'s engine checkpoint lives (requires a root)."""
+        if self.checkpoint_root is None:
+            raise ValueError("SessionManager has no checkpoint_root configured")
+        return self.checkpoint_root / user_id
+
+    def checkpoint_session(self, user_id: str, extra: Optional[dict] = None) -> Path:
+        """Persist ``user_id``'s full engine state; the manifest write commits.
+
+        ``extra`` carries the scheduler's exactly-once fencing metadata
+        (request id, round counter, pending transcript entry); because the
+        manifest is written last, a directory with a manifest mentioning
+        round *N* proves round *N* was fully applied.
+        """
+        session = self.session(user_id)
+        return CheckpointManager(self.session_checkpoint_dir(user_id)).save(
+            session.framework.engine, extra=extra
+        )
 
     # ------------------------------------------------------------------ #
     # serving operations
@@ -293,6 +372,49 @@ class SessionManager:
         )
         session.chat_requests += len(questions)
         return responses
+
+    def respond_degraded(
+        self,
+        user_id: str,
+        questions: Sequence[str],
+        generation: Optional[GenerationConfig] = None,
+    ) -> List[str]:
+        """Answer with the *blank* adapter when the user's own is unreachable.
+
+        The graceful-degradation chat path: when the adapter store keeps
+        failing, the shared base model still answers (un-personalized) rather
+        than dead-lettering the user's chats.  Nothing is written to the
+        store, nothing is marked dirty, and the active-user slot is cleared
+        afterwards so a later healthy :meth:`attach` reloads real weights
+        instead of trusting the blank ones.
+        """
+        if not questions:
+            return []
+        validate_user_id(user_id)
+        try:
+            session = self.session(user_id)
+        except TransientServingError:
+            # The first touch tried a checkpoint restore through the failing
+            # store; the session object itself was already registered, so
+            # the second call returns it without retrying the restore.
+            session = self.session(user_id)
+        self._write_back_active()
+        self.llm.load_adapter_state(self._blank_state)
+        self._active_user = None
+        self._dirty.discard(user_id)
+        if user_id not in self._degraded_users:
+            self._degraded_users.add(user_id)
+            self.health.degrade(f"serving {user_id!r} with the blank adapter (store unavailable)")
+        responses = self.llm.respond_batch(
+            list(questions), generation=generation or self.generation
+        )
+        session.chat_requests += len(questions)
+        return responses
+
+    @property
+    def degraded_users(self) -> Set[str]:
+        """Users that were ever served by the blank-adapter fallback."""
+        return set(self._degraded_users)
 
     def personalize(
         self,
@@ -322,13 +444,32 @@ class SessionManager:
         finetuned = False
         if finetune and not engine.buffer.is_empty():
             self._dirty.add(user_id)
+            # Reseed dropout per (user, round): the dropout streams live in
+            # the *shared* model, so without this a round's masks would
+            # depend on how many other users' rounds ran first — and a
+            # crash-recovered scheduler, whose round order may legitimately
+            # differ, could never reproduce the uninterrupted results.
+            self.llm.reseed_dropout(
+                user_seed(f"{user_id}/round/{engine.finetune_round_count}", self.seed)
+            )
             report = engine.finetune_round()
             session.finetune_rounds += 1
             finetuned = True
-            # The adapter just changed; write it back so an eviction or a
-            # crash between requests cannot lose the update.
-            self.store.put(user_id, self.llm.export_adapter_state())
-            self._dirty.discard(user_id)
+            # The adapter just changed; write it back (fenced with the new
+            # round count) so an eviction or a crash between requests cannot
+            # lose the update — and so recovery can compare the store's
+            # round against the checkpoint's to detect a half-applied job.
+            # A transient store failure here must NOT unwind the applied
+            # round: the user stays dirty and the next write-back retries.
+            try:
+                self.store.put(
+                    user_id,
+                    self.llm.export_adapter_state(),
+                    round=engine.finetune_round_count,
+                )
+                self._dirty.discard(user_id)
+            except TransientServingError as error:
+                self.health.degrade(f"adapter write-back for {user_id!r} failed: {error}")
         return PersonalizeOutcome(
             user_id=user_id,
             offered=len(dialogues),

@@ -162,28 +162,62 @@ class TestDeleteAndInventory:
 
 
 class TestCorruption:
-    def test_corrupt_payload_raises(self, tmp_path):
+    """Unreadable adapter files are quarantined (renamed ``*.corrupt``), not
+    fatal: the user simply looks freshly-registered and re-initializes blank."""
+
+    def test_corrupt_payload_quarantined(self, tmp_path):
         store = LoRAAdapterStore(tmp_path)
         path = store.path_for("alice")
         path.write_bytes(pickle.dumps({"not": "an adapter"}))
-        with pytest.raises(AdapterStoreError, match="missing 'state'"):
+        with pytest.raises(KeyError, match="quarantined"):
             store.get("alice")
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert store.stats.quarantined == 1
+        assert store.health.state.value == "degraded"
 
-    def test_truncated_pickle_raises_store_error(self, tmp_path):
+    def test_truncated_pickle_quarantined(self, tmp_path):
         store = LoRAAdapterStore(tmp_path)
         store.put("alice", make_state(0))
         store.flush()
         path = store.path_for("alice")
         path.write_bytes(path.read_bytes()[:20])  # truncate mid-stream
         store._cache.clear()  # force the disk path
-        with pytest.raises(AdapterStoreError, match="corrupt adapter file"):
+        with pytest.raises(KeyError, match="quarantined"):
             store.get("alice")
+        assert path.with_name(path.name + ".corrupt").exists()
 
-    def test_wrong_format_version_raises(self, tmp_path):
+    def test_wrong_format_version_quarantined(self, tmp_path):
         store = LoRAAdapterStore(tmp_path)
         path = store.path_for("alice")
         path.write_bytes(
             pickle.dumps({"format_version": 99, "user_id": "alice", "state": {}})
         )
-        with pytest.raises(AdapterStoreError, match="format version"):
+        with pytest.raises(KeyError, match="quarantined"):
             store.get("alice")
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_put_after_quarantine_reinitializes(self, tmp_path):
+        store = LoRAAdapterStore(tmp_path)
+        path = store.path_for("alice")
+        path.write_bytes(b"garbage")
+        with pytest.raises(KeyError):
+            store.get("alice")
+        fresh = make_state(1)
+        store.put("alice", fresh, round=0)
+        store.flush()
+        reloaded = LoRAAdapterStore(tmp_path)
+        assert_states_identical(reloaded.get("alice"), fresh)
+        # The quarantined original is kept alongside for post-mortem.
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_repeated_quarantine_suffixes(self, tmp_path):
+        store = LoRAAdapterStore(tmp_path)
+        path = store.path_for("alice")
+        for _ in range(2):
+            path.write_bytes(b"garbage")
+            with pytest.raises(KeyError):
+                store.get("alice")
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert path.with_name(path.name + ".corrupt.1").exists()
+        assert store.stats.quarantined == 2
