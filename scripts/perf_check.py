@@ -18,11 +18,23 @@ gated as well: request journaling (the crash-safety layer of
 ``docs/robustness.md``) must cost at most 10% of batched serving
 throughput.  Both serving flags share one benchmark run when combined.
 
+With ``--training`` the training benchmark (``benchmarks/bench_training.py``)
+runs too.  The fused-kernel backend promises a >=2x LoRA fine-tune step over
+the pre-backend composition: enforced against the committed
+``BENCH_training_baseline.json`` seconds (absolute, reference machine) and
+against the benchmark's own in-run legacy replica (``speedup_over_legacy``,
+machine-independent, also checked under ``--ratio-only``).
+
+The committed generation baseline intentionally holds the *pre-backend* seed
+numbers: the decode tentpole gate requires kv-cached decode to stay at least
+``REQUIRED_DECODE_UPLIFT``x above it, so a change that quietly gives the
+speedup back fails CI rather than ratcheting the baseline down.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
                                                 [--serving] [--chaos-overhead]
-                                                [--ratio-only]
+                                                [--training] [--ratio-only]
 
 ``--update`` rewrites the baseline from the current run (use after an
 intentional perf change, on the machine that produces the committed numbers).
@@ -45,8 +57,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_generation_baseline.json"
+TRAINING_BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_training_baseline.json"
 
 PATHS_CHECKED = ("full_forward", "kv_cached", "batched")
+
+# Tentpole guarantees of the fused-kernel backend, measured against the
+# committed pre-backend baselines (see module docstring).
+REQUIRED_DECODE_UPLIFT = 2.5
+REQUIRED_FINETUNE_SPEEDUP = 2.0
 
 EXIT_REGRESSION = 1
 # 2 is argparse's exit code for bad arguments; keep the new codes distinct.
@@ -95,6 +113,28 @@ def load_baseline(path: Path) -> dict:
     return baseline
 
 
+def load_training_baseline(path: Path) -> dict:
+    """The ``seconds`` mapping from the committed training baseline."""
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"not valid JSON ({error})") from error
+    if not isinstance(payload, dict) or "seconds" not in payload:
+        raise BaselineError("missing the 'seconds' object")
+    seconds = payload["seconds"]
+    if not isinstance(seconds, dict):
+        raise BaselineError("'seconds' is not an object")
+    for key in ("finetune_step", "pretrain_epoch"):
+        try:
+            value = float(seconds.get(key))
+        except (TypeError, ValueError):
+            raise BaselineError(f"'seconds.{key}' is not a number ({seconds.get(key)!r})") from None
+        if value <= 0.0:
+            raise BaselineError(f"'seconds.{key}' must be positive, got {value}")
+    return seconds
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -122,17 +162,28 @@ def main() -> int:
              f"{MAX_JOURNAL_OVERHEAD:.0%} of batched serving throughput "
              "(runs the serving benchmark; shares the run with --serving)",
     )
+    parser.add_argument(
+        "--training", action="store_true",
+        help="also run the training benchmark and enforce the "
+             f">={REQUIRED_FINETUNE_SPEEDUP:.0f}x fused-over-legacy LoRA "
+             "fine-tune step speedup",
+    )
     args = parser.parse_args()
 
-    # Validate the baseline *before* spending a minute on the benchmark, and
-    # report each failure mode distinctly instead of a traceback.
+    # Validate the baselines *before* spending a minute on the benchmarks,
+    # and report each failure mode distinctly instead of a traceback.
     baseline = None
+    training_baseline = None
     if not args.update:
         try:
+            checked_path = BASELINE_PATH
             baseline = load_baseline(BASELINE_PATH)
+            if args.training:
+                checked_path = TRAINING_BASELINE_PATH
+                training_baseline = load_training_baseline(TRAINING_BASELINE_PATH)
         except FileNotFoundError:
             print(
-                f"ERROR: baseline file missing: {BASELINE_PATH}\n"
+                f"ERROR: baseline file missing: {checked_path}\n"
                 "Run `python scripts/perf_check.py --update` on the reference "
                 "machine to create it.",
                 file=sys.stderr,
@@ -140,7 +191,7 @@ def main() -> int:
             return EXIT_BASELINE_MISSING
         except BaselineError as error:
             print(
-                f"ERROR: baseline file malformed: {BASELINE_PATH}: {error}\n"
+                f"ERROR: baseline file malformed: {checked_path}: {error}\n"
                 "Restore the committed file or regenerate it with "
                 "`python scripts/perf_check.py --update`.",
                 file=sys.stderr,
@@ -173,6 +224,16 @@ def main() -> int:
                   f"(floor {floor:.1f}) {status}")
             if measured < floor:
                 failures.append(path)
+        # Tentpole: the fused decode path must hold its uplift over the
+        # committed pre-backend seed numbers (machine-dependent, so skipped
+        # under --ratio-only like the other absolute comparisons).
+        uplift = float(current["kv_cached"]) / float(baseline["kv_cached"])
+        print(
+            f"  kv_cached uplift over seed baseline: {uplift:.2f}x "
+            f"(required >= {REQUIRED_DECODE_UPLIFT:.1f}x)"
+        )
+        if uplift < REQUIRED_DECODE_UPLIFT:
+            failures.append("kv_cached_uplift")
 
     # The structural guarantee is machine-independent: cached decode must
     # stay well ahead of the full-forward reference path.
@@ -206,6 +267,36 @@ def main() -> int:
             )
             if overhead > MAX_JOURNAL_OVERHEAD:
                 failures.append("journal_overhead")
+
+    if args.training:
+        from bench_training import run_benchmark as run_training_benchmark
+
+        training = run_training_benchmark()
+        seconds = training["seconds"]
+        ratios = training["speedup_over_legacy"]
+        # Machine-independent: the benchmark's in-run legacy replica.
+        print(
+            f"training: finetune_step {seconds['finetune_step']*1e3:.2f} ms "
+            f"({ratios['finetune_step']:.2f}x over legacy, required >= "
+            f"{REQUIRED_FINETUNE_SPEEDUP:.1f}x); pretrain_epoch "
+            f"{seconds['pretrain_epoch']*1e3:.1f} ms "
+            f"({ratios['pretrain_epoch']:.2f}x over legacy)"
+        )
+        if float(ratios["finetune_step"]) < REQUIRED_FINETUNE_SPEEDUP:
+            failures.append("finetune_step_speedup")
+        if args.ratio_only:
+            print("  (absolute training comparison skipped: --ratio-only)")
+        else:
+            # Absolute: the committed pre-backend seconds (reference machine).
+            ceiling = float(training_baseline["finetune_step"]) / REQUIRED_FINETUNE_SPEEDUP
+            status = "ok" if float(seconds["finetune_step"]) <= ceiling else "REGRESSED"
+            print(
+                f"  finetune_step {seconds['finetune_step']*1e3:.2f} ms vs seed "
+                f"{float(training_baseline['finetune_step'])*1e3:.2f} ms "
+                f"(ceiling {ceiling*1e3:.2f} ms) {status}"
+            )
+            if float(seconds["finetune_step"]) > ceiling:
+                failures.append("finetune_step_absolute")
 
     if failures:
         print(f"FAIL: throughput regressed: {', '.join(failures)}")

@@ -90,24 +90,29 @@ class KCenterSelector(SelectionPolicy):
         embeddings = self.buffer.embeddings()
         if embeddings.size == 0:
             return self._insert(entry, None)
-        similarity = pairwise_cosine_similarity(embeddings)
-        dissimilarity = 1.0 - similarity
+        # Buffer-buffer and candidate-buffer distances must come from the
+        # same routine on one stacked matrix: an exact-duplicate candidate
+        # then gets bit-identical distances to its twin, so "swap in the
+        # duplicate" cannot read as a rounding-level improvement.
+        new_vector = np.asarray(entry.embedding, dtype=np.float64)
+        count = len(self.buffer)
+        stacked = np.vstack([embeddings, new_vector])
+        full_dissimilarity = 1.0 - pairwise_cosine_similarity(stacked)
+        dissimilarity = full_dissimilarity[:count, :count].copy()
         np.fill_diagonal(dissimilarity, np.inf)
+        new_distances = full_dissimilarity[count, :count]
         # The closest pair of existing centers limits current coverage.
         flat_index = int(np.argmin(dissimilarity))
         row, column = np.unravel_index(flat_index, dissimilarity.shape)
         min_pair_distance = float(dissimilarity[row, column])
 
-        new_vector = np.asarray(entry.embedding, dtype=np.float64)
-        norms = np.linalg.norm(embeddings, axis=1) * max(np.linalg.norm(new_vector), 1e-12)
-        cosines = embeddings @ new_vector / np.maximum(norms, 1e-12)
-        new_distances = 1.0 - cosines
-
         # Candidate swap: replace one endpoint of the closest pair.  After the
         # swap, that endpoint's distances are replaced by the new item's
-        # distances (excluding the evicted row itself).
+        # distances (excluding the evicted row itself).  Cosine distances are
+        # O(1), so an "improvement" at float rounding scale is noise, not
+        # better coverage — require it to clear a tiny threshold.
         best_victim: Optional[int] = None
-        best_improvement = 0.0
+        best_improvement = 1e-9
         for victim in (int(row), int(column)):
             remaining = [i for i in range(len(self.buffer)) if i != victim]
             if not remaining:

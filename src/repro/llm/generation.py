@@ -82,6 +82,10 @@ def sample_next_token(
     previous_ids: Sequence[int] = (),
 ) -> int:
     """Sample one token id from a vector of next-token logits."""
+    if config.greedy and (config.repetition_penalty == 1.0 or len(previous_ids) == 0):
+        # Hot decode path: argmax is invariant under the exact float64
+        # widening below, so skip the copy entirely.
+        return int(np.argmax(logits))
     logits = np.asarray(logits, dtype=np.float64).ravel()
     logits = apply_repetition_penalty(logits, previous_ids, config.repetition_penalty)
     if config.greedy:
@@ -126,26 +130,33 @@ def generate_tokens(
     was_training = model.training
     model.eval()
     cache = model.new_kv_cache() if use_cache else None
-    cached_tokens: List[int] = []
+    # The cache is valid iff it holds exactly the tokens of the current
+    # window's prefix.  Because the loop itself appends every token it feeds,
+    # it suffices to track the window's start offset into ``context``: while
+    # the window is anchored at the same start, the cached prefix matches by
+    # construction; when the window slides (or on the first step) the absolute
+    # positions shift and the cache must be rebuilt.
+    cached_start = -1
     try:
         with inference_mode():
             for _ in range(config.max_new_tokens):
-                window = context[-max_context:]
+                start = len(context) - max_context
+                if start < 0:
+                    start = 0
                 if cache is not None:
-                    prefix = len(cached_tokens)
-                    if 0 < prefix < len(window) and cached_tokens == window[:prefix]:
-                        feed = window[prefix:]
+                    if start == cached_start and cache.length == len(context) - start - 1:
+                        # Steady state: one fused single-token decode step.
+                        logits_row = model.decode_logits(context[-1], cache)
                     else:
                         cache.reset()
-                        feed = window
-                    token_array = np.asarray(feed, dtype=np.int64)[None, :]
-                    logits = model(token_array, kv_cache=cache)
-                    cached_tokens = list(window)
+                        token_array = np.asarray(context[start:], dtype=np.int64)[None, :]
+                        logits_row = model(token_array, kv_cache=cache).data[0, -1]
+                    cached_start = start
                 else:
-                    token_array = np.asarray(window, dtype=np.int64)[None, :]
-                    logits = model(token_array)
+                    token_array = np.asarray(context[start:], dtype=np.int64)[None, :]
+                    logits_row = model(token_array).data[0, -1]
                 next_id = sample_next_token(
-                    logits.data[0, -1], config, rng=generator, previous_ids=generated
+                    logits_row, config, rng=generator, previous_ids=generated
                 )
                 generated.append(next_id)
                 context.append(next_id)

@@ -7,12 +7,17 @@ output layer (o_proj)"), so the LoRA injection utilities can address them by
 the same names.
 
 For autoregressive decoding the layer supports an optional
-:class:`LayerKVCache`: the keys/values of previously processed positions are
-kept as plain arrays, so each incremental step only projects the newly fed
-tokens and attends against the cached context (O(T) work per token instead of
+:class:`LayerKVCache`: keys/values of previously processed positions live in
+preallocated capacity buffers, so each incremental step only projects the
+newly fed tokens, writes them into the buffer (no per-token concatenation),
+and attends against the cached context (O(T) work per token instead of
 O(T²)).  Because attention is causal, the cached keys/values are exactly what
 a full forward over the whole window would compute, so incremental decoding
 is numerically equivalent to the full-context forward.
+
+Both the autograd path and the raw no-grad path run the same fused
+``scaled_dot_product_attention`` backend kernel, which keeps their outputs
+bit-identical.
 """
 
 from __future__ import annotations
@@ -22,44 +27,103 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn import functional as F
+from repro.nn.backend import active as _active
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.utils.rng import as_generator
 
 
 class LayerKVCache:
-    """Cached key/value arrays of one attention layer.
+    """Cached key/value buffers of one attention layer.
 
-    ``keys`` and ``values`` have shape ``(batch, heads, cached_len, head_dim)``
-    and hold plain numpy data (no autograd graph) — the cache is an inference
-    structure and is meant to be used inside :func:`repro.nn.inference_mode`.
+    ``keys`` and ``values`` expose shape ``(batch, heads, cached_len,
+    head_dim)`` views into preallocated capacity buffers (or ``None`` when
+    empty).  The cache holds plain numpy data (no autograd graph) — it is an
+    inference structure and is meant to be used inside
+    :func:`repro.nn.inference_mode`.
+
+    ``capacity`` pre-sizes the buffers (e.g. to the model's ``max_seq_len``)
+    so steady-state decoding never reallocates; without it the buffers grow
+    geometrically.
     """
 
-    __slots__ = ("keys", "values")
+    __slots__ = ("_keys", "_values", "_length", "_capacity_hint")
 
-    def __init__(self) -> None:
-        self.keys: Optional[np.ndarray] = None
-        self.values: Optional[np.ndarray] = None
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._length = 0
+        self._capacity_hint = int(capacity) if capacity else 0
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        """View of the cached keys, ``(B, H, cached_len, head_dim)``."""
+        return None if self._length == 0 else self._keys[:, :, : self._length]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        """View of the cached values, ``(B, H, cached_len, head_dim)``."""
+        return None if self._length == 0 else self._values[:, :, : self._length]
 
     @property
     def length(self) -> int:
         """Number of cached positions (0 when empty)."""
-        return 0 if self.keys is None else int(self.keys.shape[2])
+        return self._length
 
     def reset(self) -> None:
-        """Drop all cached positions."""
-        self.keys = None
-        self.values = None
+        """Drop all cached positions (capacity buffers are kept for reuse)."""
+        self._length = 0
 
     def extend(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Append new positions and return the full (cached + new) arrays."""
-        if self.keys is None:
-            self.keys = keys
-            self.values = values
-        else:
-            self.keys = np.concatenate([self.keys, keys], axis=2)
-            self.values = np.concatenate([self.values, values], axis=2)
-        return self.keys, self.values
+        """Append new positions and return views of the full (cached + new) arrays."""
+        batch, heads, new, head_dim = keys.shape
+        needed = self._length + new
+        buffer = self._keys
+        compatible = (
+            buffer is not None
+            and buffer.shape[0] == batch
+            and buffer.shape[1] == heads
+            and buffer.shape[3] == head_dim
+        )
+        if not compatible and self._length > 0:
+            raise ValueError(
+                f"cache holds (batch={self._keys.shape[0]}, heads={self._keys.shape[1]}, "
+                f"head_dim={self._keys.shape[3]}) but got (batch={batch}, heads={heads}, "
+                f"head_dim={head_dim}); reset() before reusing with a new shape"
+            )
+        if not compatible or buffer.shape[2] < needed:
+            capacity = max(needed, self._capacity_hint)
+            if compatible:
+                capacity = max(capacity, 2 * buffer.shape[2])
+            new_keys = np.empty((batch, heads, capacity, head_dim), dtype=keys.dtype)
+            new_values = np.empty((batch, heads, capacity, head_dim), dtype=values.dtype)
+            if compatible and self._length > 0:
+                new_keys[:, :, : self._length] = self._keys[:, :, : self._length]
+                new_values[:, :, : self._length] = self._values[:, :, : self._length]
+            self._keys = new_keys
+            self._values = new_values
+        self._keys[:, :, self._length : needed] = keys
+        self._values[:, :, self._length : needed] = values
+        self._length = needed
+        return self._keys[:, :, :needed], self._values[:, :, :needed]
+
+    def append_token(
+        self, key_row: np.ndarray, value_row: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fast single-position append for batch-1 decode.
+
+        ``key_row``/``value_row`` have shape ``(heads, head_dim)``.  Falls
+        back to :meth:`extend` when the buffers are missing, full, or not
+        batch-1.
+        """
+        index = self._length
+        buffer = self._keys
+        if buffer is None or buffer.shape[0] != 1 or buffer.shape[2] <= index:
+            return self.extend(key_row[None, :, None, :], value_row[None, :, None, :])
+        buffer[0, :, index] = key_row
+        self._values[0, :, index] = value_row
+        self._length = index + 1
+        return buffer[:, :, : self._length], self._values[:, :, : self._length]
 
 
 class MultiHeadSelfAttention(Module):
@@ -93,6 +157,38 @@ class MultiHeadSelfAttention(Module):
         """(B, H, T, head_dim) -> (B, T, D)."""
         return x.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
 
+    def _combined_mask(
+        self,
+        batch: int,
+        seq: int,
+        past: int,
+        attention_mask: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Causal + padding mask, ``(B, H, T, past+T)`` boolean (True hides).
+
+        Returns ``None`` for the single-position step without padding — the
+        causal row hides nothing, so the mask (and its allocation) can be
+        skipped entirely.
+        """
+        if attention_mask is None and seq == 1:
+            return None
+        total = past + seq
+        causal = F.attention_scores_mask(seq, past_len=past)  # (T, past + T)
+        mask = np.broadcast_to(causal, (batch, self.num_heads, seq, total)).copy()
+        if attention_mask is not None:
+            padding = ~np.asarray(attention_mask, dtype=bool)  # True = padding
+            if padding.shape[-1] != total:
+                raise ValueError(
+                    f"attention_mask covers {padding.shape[-1]} positions, "
+                    f"expected {total} (cached {past} + new {seq})"
+                )
+            mask |= padding[:, None, None, :]
+            # A fully masked row (query at a padding position) would make softmax
+            # degenerate; allow self-attention on the diagonal to keep it finite.
+            diag = np.eye(seq, total, k=past, dtype=bool)[None, None, :, :]
+            mask &= ~diag
+        return mask
+
     def forward(
         self,
         x: Tensor,
@@ -117,50 +213,101 @@ class MultiHeadSelfAttention(Module):
                 "KV cache is an inference structure; wrap the forward in "
                 "repro.nn.inference_mode() when decoding with a cache"
             )
+        if not is_grad_enabled():
+            return Tensor(self.raw_forward(x.data, attention_mask, cache))
+
         batch, seq, _ = x.shape
         queries = self._split_heads(self.q_proj(x), batch, seq)
         keys = self._split_heads(self.k_proj(x), batch, seq)
         values = self._split_heads(self.v_proj(x), batch, seq)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        mask = self._combined_mask(batch, seq, 0, attention_mask)
+        dropout_mask = self.attn_dropout.draw_mask((batch, self.num_heads, seq, seq))
+        context = F.scaled_dot_product_attention(
+            queries, keys, values, scale, mask, dropout_mask
+        )
+        merged = self._merge_heads(context, batch, seq)
+        return self.o_proj(merged)
+
+    def raw_forward(
+        self,
+        x: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+        cache: Optional[LayerKVCache] = None,
+    ) -> np.ndarray:
+        """Array-level forward for the no-grad decode path (same kernels)."""
+        backend = _active()
+        batch, seq, _ = x.shape
+        heads, head_dim = self.num_heads, self.head_dim
+        queries = (
+            self.q_proj.raw_forward(x).reshape(batch, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        )
+        keys = (
+            self.k_proj.raw_forward(x).reshape(batch, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        )
+        values = (
+            self.v_proj.raw_forward(x).reshape(batch, seq, heads, head_dim).transpose(0, 2, 1, 3)
+        )
 
         past = 0
         if cache is not None:
             past = cache.length
-            full_keys, full_values = cache.extend(keys.data, values.data)
-            if past > 0:
-                keys = Tensor(full_keys)
-                values = Tensor(full_values)
-        total = past + seq
+            keys, values = cache.extend(keys, values)
 
-        scale = 1.0 / np.sqrt(self.head_dim)
-        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * scale
+        scale = 1.0 / np.sqrt(head_dim)
+        mask = self._combined_mask(batch, seq, past, attention_mask)
+        dropout_mask = self.attn_dropout.draw_mask(
+            (batch, heads, seq, past + seq)
+        )
 
-        if attention_mask is None and seq == 1:
-            # Single-position incremental step without padding: the causal row
-            # hides nothing, so the mask (and its allocation) can be skipped.
-            weights = F.softmax(scores, axis=-1)
-            weights = self.attn_dropout(weights)
-            context = weights.matmul(values)
-            merged = self._merge_heads(context, batch, seq)
-            return self.o_proj(merged)
+        if batch == 1 and seq == 1 and mask is None and dropout_mask is None:
+            # (Training-mode single-token decode; the eval-mode equivalent
+            # goes through raw_decode_row via TransformerLM._decode_step.)
+            # Steady-state single-stream decode: collapse the (1, H, 1, ·)
+            # batched matmuls to 2-D GEMV-shaped ops.  Same dot products and
+            # the same stable-softmax elementwise sequence as the fused
+            # kernel, just without the singleton batch dimensions.
+            query2 = queries.reshape(heads, head_dim)
+            keys3 = keys[0]  # (H, total, head_dim)
+            values3 = values[0]
+            scores = (keys3 @ query2[:, :, None])[:, :, 0]  # (H, total)
+            scores *= scale
+            scores -= scores.max(axis=-1, keepdims=True)
+            np.exp(scores, out=scores)
+            scores /= scores.sum(axis=-1, keepdims=True)
+            context = scores[:, None, :] @ values3  # (H, 1, head_dim)
+            merged = context.reshape(1, 1, self.dim)
+        else:
+            context, _ = backend.scaled_dot_product_attention(
+                queries, keys, values, scale, mask, dropout_mask
+            )
+            merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.dim)
+        return self.o_proj.raw_forward(merged)
 
-        causal = F.attention_scores_mask(seq, past_len=past)  # (T, past + T)
-        mask = np.broadcast_to(causal, (batch, self.num_heads, seq, total)).copy()
-        if attention_mask is not None:
-            padding = ~np.asarray(attention_mask, dtype=bool)  # True = padding
-            if padding.shape[-1] != total:
-                raise ValueError(
-                    f"attention_mask covers {padding.shape[-1]} positions, "
-                    f"expected {total} (cached {past} + new {seq})"
-                )
-            mask |= padding[:, None, None, :]
-            # A fully masked row (query at a padding position) would make softmax
-            # degenerate; allow self-attention on the diagonal to keep it finite.
-            diag = np.eye(seq, total, k=past, dtype=bool)[None, None, :, :]
-            mask &= ~diag
+    def raw_decode_row(self, x: np.ndarray, cache: LayerKVCache, workspace, tag) -> np.ndarray:
+        """Fused single-token attention step on a ``(dim,)`` row.
 
-        scores = scores.masked_fill(mask, -1e9)
-        weights = F.softmax(scores, axis=-1)
-        weights = self.attn_dropout(weights)
-        context = weights.matmul(values)
-        merged = self._merge_heads(context, batch, seq)
-        return self.o_proj(merged)
+        Caller guarantees batch 1, one new position, no padding mask and inert
+        dropout.  Projections are GEMVs into workspace buffers; the new
+        key/value row is written straight into the cache's capacity buffers.
+        """
+        heads, head_dim = self.num_heads, self.head_dim
+        dim = self.dim
+        query = self.q_proj.project_row(x, workspace.get((tag, "q"), (dim,)))
+        key = self.k_proj.project_row(x, workspace.get((tag, "k"), (dim,)))
+        value = self.v_proj.project_row(x, workspace.get((tag, "v"), (dim,)))
+        keys, values = cache.append_token(
+            key.reshape(heads, head_dim), value.reshape(heads, head_dim)
+        )
+        keys3 = keys[0]  # (H, total, head_dim)
+        values3 = values[0]
+        query3 = query.reshape(heads, head_dim)
+        scores = (keys3 @ query3[:, :, None])[:, :, 0]  # (H, total)
+        scores *= 1.0 / np.sqrt(head_dim)
+        scores -= np.maximum.reduce(scores, axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= np.add.reduce(scores, axis=-1, keepdims=True)
+        context = scores[:, None, :] @ values3  # (H, 1, head_dim)
+        return self.o_proj.project_row(
+            context.reshape(dim), workspace.get((tag, "attn"), (dim,))
+        )

@@ -1,0 +1,495 @@
+"""The default numpy backend: fused kernels with handwritten VJPs.
+
+Every primitive is one or two vectorized numpy calls plus in-place follow-ups
+on freshly allocated arrays.  Forwards return ``(out, residuals)``; the
+matching VJP in :data:`VJPS` turns an output gradient into input gradients
+using only the saved residuals (never the autograd graph).  All returned
+gradient arrays are freshly allocated and owned by the caller.
+
+The same forward functions serve both the autograd path (wrapped by
+:mod:`repro.nn.functional`) and the raw no-grad decode path
+(:meth:`repro.nn.transformer.TransformerLM.forward` in inference mode), which
+is what keeps the two paths bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+name = "numpy"
+
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+_GELU_A = 0.044715
+
+PRIMITIVES: Dict[str, object] = {}
+VJPS: Dict[str, object] = {}
+
+
+def _primitive(fn):
+    PRIMITIVES[fn.__name__] = fn
+    return fn
+
+
+def _vjp(primitive_name):
+    def register(fn):
+        VJPS[primitive_name] = fn
+        return fn
+
+    return register
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast axes so it has ``shape``."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# matmul
+# --------------------------------------------------------------------------- #
+@_primitive
+def matmul(a: np.ndarray, b: np.ndarray):
+    """Batched matrix product ``a @ b``."""
+    return a @ b, (a, b)
+
+
+@_vjp("matmul")
+def matmul_vjp(res, grad, needs):
+    a, b = res
+    need_a, need_b = needs
+    grad_a = grad_b = None
+    if need_a:
+        grad_a = _unbroadcast(grad @ np.swapaxes(b, -1, -2), a.shape)
+    if need_b:
+        grad_b = _unbroadcast(np.swapaxes(a, -1, -2) @ grad, b.shape)
+    return grad_a, grad_b
+
+
+# --------------------------------------------------------------------------- #
+# linear: x @ W^T + b in one kernel
+# --------------------------------------------------------------------------- #
+@_primitive
+def linear(x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray]):
+    """Affine map ``x @ W^T (+ b)``; ``W`` is ``(out, in)``, ``x`` ``(..., in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out += bias
+    return out, (x, weight)
+
+
+@_vjp("linear")
+def linear_vjp(res, grad, needs):
+    x, weight = res
+    need_x, need_w, need_b = needs
+    grad_x = grad_w = grad_b = None
+    if need_x:
+        grad_x = grad @ weight
+    if need_w or need_b:
+        grad2 = grad.reshape(-1, grad.shape[-1])
+        if need_w:
+            grad_w = grad2.T @ x.reshape(-1, x.shape[-1])
+        if need_b:
+            grad_b = grad2.sum(axis=0)
+    return grad_x, grad_w, grad_b
+
+
+# --------------------------------------------------------------------------- #
+# softmax / log-softmax
+# --------------------------------------------------------------------------- #
+@_primitive
+def softmax(x: np.ndarray, axis: int = -1):
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    out = shifted
+    out /= out.sum(axis=axis, keepdims=True)
+    return out, (out, axis)
+
+
+@_vjp("softmax")
+def softmax_vjp(res, grad):
+    out, axis = res
+    dot = (grad * out).sum(axis=axis, keepdims=True)
+    result = grad - dot
+    result *= out
+    return result
+
+
+@_primitive
+def log_softmax(x: np.ndarray, axis: int = -1):
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    shifted -= logsumexp
+    return shifted, (np.exp(shifted), axis)
+
+
+@_vjp("log_softmax")
+def log_softmax_vjp(res, grad):
+    softmax_data, axis = res
+    grad_sum = grad.sum(axis=axis, keepdims=True)
+    return grad - softmax_data * grad_sum
+
+
+# --------------------------------------------------------------------------- #
+# layer normalization
+# --------------------------------------------------------------------------- #
+@_primitive
+def layernorm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float = 1e-5):
+    """LayerNorm over the last axis with affine parameters."""
+    # np.add.reduce + divide is what ndarray.mean does internally, minus a
+    # few microseconds of Python dispatch that dominate on decode-sized rows.
+    dim = x.shape[-1]
+    mean = np.add.reduce(x, axis=-1, keepdims=True)
+    mean /= dim
+    centered = x - mean
+    var = np.add.reduce(np.square(centered), axis=-1, keepdims=True)
+    var /= dim
+    var += eps
+    inv_std = 1.0 / np.sqrt(var)
+    normalized = centered
+    normalized *= inv_std
+    out = normalized * weight
+    out += bias
+    return out, (normalized, inv_std, weight)
+
+
+@_vjp("layernorm")
+def layernorm_vjp(res, grad, needs):
+    normalized, inv_std, weight = res
+    need_x, need_w, need_b = needs
+    grad_x = grad_w = grad_b = None
+    dim = normalized.shape[-1]
+    if need_w:
+        grad_w = (grad * normalized).reshape(-1, dim).sum(axis=0)
+    if need_b:
+        grad_b = grad.reshape(-1, dim).sum(axis=0)
+    if need_x:
+        grad_norm = grad * weight
+        grad_mean = grad_norm.mean(axis=-1, keepdims=True)
+        grad_dot = (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        grad_x = grad_norm
+        grad_x -= grad_mean
+        grad_x -= normalized * grad_dot
+        grad_x *= inv_std
+    return grad_x, grad_w, grad_b
+
+
+# --------------------------------------------------------------------------- #
+# GELU (tanh approximation)
+# --------------------------------------------------------------------------- #
+@_primitive
+def gelu(x: np.ndarray):
+    """GELU with the tanh approximation used by GPT-style models."""
+    inner = x * x
+    inner *= x  # x^3 without the generic-pow loop
+    inner *= _GELU_A
+    inner += x
+    inner *= _GELU_C
+    t = np.tanh(inner)
+    out = x * t
+    out += x
+    out *= 0.5  # 0.5 * (x + x*t) == 0.5 * x * (1 + t)
+    return out, (x, t)
+
+
+@_vjp("gelu")
+def gelu_vjp(res, grad):
+    x, t = res
+    # d/dx [0.5 x (1+t)] = 0.5(1+t) + 0.5 x (1-t^2) C (1 + 3A x^2)
+    local = x * x
+    local *= 3.0 * _GELU_A
+    local += 1.0
+    local *= _GELU_C
+    one_minus_t2 = t * t
+    np.subtract(1.0, one_minus_t2, out=one_minus_t2)
+    local *= one_minus_t2
+    local *= x
+    local += 1.0
+    local += t
+    local *= 0.5  # 0.5*(1 + t) + 0.5*x*dt
+    local *= grad
+    return local
+
+
+# --------------------------------------------------------------------------- #
+# scaled dot-product attention
+# --------------------------------------------------------------------------- #
+@_primitive
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scale: float,
+    mask: Optional[np.ndarray] = None,
+    dropout_mask: Optional[np.ndarray] = None,
+):
+    """Fused attention: softmax(mask(q k^T * scale)) (*dropout) @ v.
+
+    ``q`` is ``(..., Tq, d)``, ``k``/``v`` ``(..., Tk, d)``; ``mask`` is a
+    boolean array broadcastable to the score shape where True hides a
+    position; ``dropout_mask`` is a pre-drawn inverted-dropout multiplier.
+    """
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= scale
+    if mask is not None:
+        scores[mask] = -1e9
+    shifted = scores
+    shifted -= shifted.max(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    weights = shifted
+    weights /= weights.sum(axis=-1, keepdims=True)
+    if dropout_mask is not None:
+        dropped = weights * dropout_mask
+    else:
+        dropped = weights
+    out = dropped @ v
+    return out, (q, k, v, weights, dropped, mask, dropout_mask, scale)
+
+
+@_vjp("scaled_dot_product_attention")
+def scaled_dot_product_attention_vjp(res, grad, needs):
+    q, k, v, weights, dropped, mask, dropout_mask, scale = res
+    need_q, need_k, need_v = needs
+    grad_q = grad_k = grad_v = None
+    if need_v:
+        grad_v = np.swapaxes(dropped, -1, -2) @ grad
+    if need_q or need_k:
+        grad_weights = grad @ np.swapaxes(v, -1, -2)
+        if dropout_mask is not None:
+            grad_weights *= dropout_mask
+        dot = (grad_weights * weights).sum(axis=-1, keepdims=True)
+        grad_scores = grad_weights
+        grad_scores -= dot
+        grad_scores *= weights
+        if mask is not None:
+            grad_scores[mask] = 0.0
+        grad_scores *= scale
+        if need_q:
+            grad_q = grad_scores @ k
+        if need_k:
+            grad_k = np.swapaxes(grad_scores, -1, -2) @ q
+    return grad_q, grad_k, grad_v
+
+
+# --------------------------------------------------------------------------- #
+# cross-entropy
+# --------------------------------------------------------------------------- #
+@_primitive
+def cross_entropy(logits: np.ndarray, targets: np.ndarray, ignore_index: Optional[int] = None):
+    """Mean token-level cross-entropy; ``ignore_index`` positions are masked.
+
+    ``logits`` is ``(..., vocab)``; ``targets`` the matching integer leading
+    shape.  Raises :class:`ValueError` when no valid target remains.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    valid_count = int(valid.sum())
+    if valid_count == 0:
+        raise ValueError("cross_entropy received no valid target positions")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted
+    log_probs -= logsumexp
+
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.size), safe_targets]
+    loss = -(picked * valid).sum() / valid_count
+    loss = np.asarray(loss, dtype=logits.dtype)
+    return loss, (log_probs, valid, safe_targets, valid_count, logits.shape)
+
+
+@_vjp("cross_entropy")
+def cross_entropy_vjp(res, grad):
+    log_probs, valid, safe_targets, valid_count, shape = res
+    grad_flat = np.exp(log_probs)
+    grad_flat[np.arange(safe_targets.size), safe_targets] -= 1.0
+    grad_flat *= valid[:, None]
+    grad_flat *= float(grad) / valid_count
+    return grad_flat.reshape(shape)
+
+
+# --------------------------------------------------------------------------- #
+# LoRA adapter matmul
+# --------------------------------------------------------------------------- #
+@_primitive
+def lora_matmul(
+    x: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    scaling: float,
+    dropout_mask: Optional[np.ndarray] = None,
+):
+    """Fused adapter delta ``scaling * ((dropout(x)) @ A^T @ B^T)``.
+
+    ``a`` is ``(rank, in)``, ``b`` ``(out, rank)``; ``dropout_mask`` is a
+    pre-drawn inverted-dropout multiplier for ``x`` (or None).
+    """
+    if dropout_mask is not None:
+        dropped = x * dropout_mask
+    else:
+        dropped = x
+    mid = dropped @ a.T
+    out = mid @ b.T
+    out *= scaling
+    return out, (dropped, mid, a, b, scaling, dropout_mask)
+
+
+@_vjp("lora_matmul")
+def lora_matmul_vjp(res, grad, needs):
+    dropped, mid, a, b, scaling, dropout_mask = res
+    need_x, need_a, need_b = needs
+    grad_x = grad_a = grad_b = None
+    grad_out = grad * scaling
+    if need_b:
+        grad_b = grad_out.reshape(-1, grad_out.shape[-1]).T @ mid.reshape(-1, mid.shape[-1])
+    if need_x or need_a:
+        grad_mid = grad_out @ b
+        if need_a:
+            grad_a = grad_mid.reshape(-1, grad_mid.shape[-1]).T @ dropped.reshape(
+                -1, dropped.shape[-1]
+            )
+        if need_x:
+            grad_x = grad_mid @ a
+            if dropout_mask is not None:
+                grad_x *= dropout_mask
+    return grad_x, grad_a, grad_b
+
+
+# --------------------------------------------------------------------------- #
+# fused optimizer step (no VJP: mutates state in place)
+# --------------------------------------------------------------------------- #
+@_primitive
+def adamw_step(
+    param: np.ndarray,
+    grad: np.ndarray,
+    m: np.ndarray,
+    v: np.ndarray,
+    scratch_a: np.ndarray,
+    scratch_b: np.ndarray,
+    lr: float,
+    beta1: float,
+    beta2: float,
+    eps: float,
+    weight_decay: float,
+    bias1: float,
+    bias2: float,
+):
+    """One AdamW update, fully in place using two preallocated scratch buffers.
+
+    Implements exactly the textbook sequence (decoupled weight decay)::
+
+        m = b1*m + (1-b1)*g;  v = b2*v + (1-b2)*g*g
+        p -= lr * (m/bias1 / (sqrt(v/bias2) + eps) + wd*p)
+
+    ``scratch_a``/``scratch_b`` must match ``param``'s shape and dtype; they
+    hold the intermediate products so the steady-state step allocates nothing.
+    """
+    m *= beta1
+    np.multiply(grad, 1.0 - beta1, out=scratch_a)
+    m += scratch_a
+    v *= beta2
+    np.multiply(grad, 1.0 - beta2, out=scratch_a)
+    scratch_a *= grad
+    v += scratch_a
+    np.divide(m, bias1, out=scratch_a)  # m_hat
+    np.divide(v, bias2, out=scratch_b)  # v_hat
+    np.sqrt(scratch_b, out=scratch_b)
+    scratch_b += eps
+    scratch_a /= scratch_b  # m_hat / (sqrt(v_hat) + eps)
+    if weight_decay:
+        np.multiply(param, weight_decay, out=scratch_b)
+        scratch_a += scratch_b
+    scratch_a *= lr
+    param -= scratch_a
+    return param, None
+
+
+# --------------------------------------------------------------------------- #
+# row kernels (single-token decode fast path)
+# --------------------------------------------------------------------------- #
+def layernorm_row(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float, out: np.ndarray
+) -> np.ndarray:
+    """LayerNorm of a single ``(dim,)`` row into the preallocated ``out``.
+
+    Statistics are computed as Python floats (numpy scalar arithmetic costs
+    ~0.5µs per op, which dominates at decode row sizes).  The variance uses
+    an SDOT reduction, so the result can differ from the batched kernel by
+    ~1 ulp — the same order as the GEMV-vs-GEMM difference the decode path
+    already accepts, and far inside the decode-equivalence tolerance.
+    """
+    dim = x.shape[0]
+    mean = float(np.add.reduce(x)) / dim
+    np.subtract(x, mean, out=out)
+    var = float(np.dot(out, out)) / dim
+    out *= 1.0 / math.sqrt(var + eps)
+    out *= weight
+    out += bias
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# reductions
+# --------------------------------------------------------------------------- #
+def grad_norm_sq(grads) -> float:
+    """Single-pass, copy-free sum of squared L2 norms (float64 accumulation).
+
+    ``np.einsum`` with an explicit float64 ``dtype`` upcasts inside its
+    buffered inner loop — no ``astype`` copy of the gradient is ever made.
+    """
+    total = 0.0
+    for grad in grads:
+        flat = np.ravel(grad)
+        total += float(np.einsum("i,i->", flat, flat, dtype=np.float64))
+    return total
+
+
+# --------------------------------------------------------------------------- #
+# workspace arena
+# --------------------------------------------------------------------------- #
+class Workspace:
+    """Preallocated scratch buffers keyed by a caller-chosen tag.
+
+    ``get(tag, shape, dtype)`` returns the cached buffer for ``tag`` when its
+    shape/dtype still match, allocating (and remembering) a new one
+    otherwise.  Steady-state loops whose shapes repeat — single-token decode,
+    fixed-batch fine-tune steps — therefore stop allocating after the first
+    iteration.  Buffers contain stale data; callers must fully overwrite.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[object, np.ndarray] = {}
+
+    def get(self, tag, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        buffer = self._buffers.get(tag)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[tag] = buffer
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def nbytes(self) -> int:
+        return int(sum(buffer.nbytes for buffer in self._buffers.values()))

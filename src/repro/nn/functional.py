@@ -1,9 +1,13 @@
 """Functional building blocks on top of :class:`repro.nn.tensor.Tensor`.
 
-These functions implement the numerically-sensitive operations (softmax,
-log-softmax, layer normalization, cross-entropy, dropout) with hand-written
-backward passes rather than composing primitive ops, so that forward values
-stay stable (log-sum-exp trick) and the backward pass stays cheap.
+Each function here is a thin autograd wrapper over one fused kernel from the
+active :mod:`repro.nn.backend`: the backend primitive computes the forward in
+one or two vectorized calls and hands back residuals; a single backward
+closure per kernel feeds those residuals to the backend's handwritten VJP.
+This replaces the old per-op composition (5-15 chained Tensor micro-ops per
+kernel) while keeping the numerics — log-sum-exp stability, ignore-index
+masking — identical between the autograd path and the raw no-grad path,
+because both call the *same* backend forward function.
 """
 
 from __future__ import annotations
@@ -12,62 +16,157 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.backend import active as _active
+from repro.nn.tensor import Tensor, is_grad_enabled
+
+
+def _recording(*tensors: Optional[Tensor]) -> bool:
+    """True when grad mode is on and any of ``tensors`` requires grad."""
+    if not is_grad_enabled():
+        return False
+    for tensor in tensors:
+        if tensor is not None and tensor.requires_grad:
+            return True
+    return False
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    backend = _active()
+    out, residuals = backend.softmax(x.data, axis)
+    if not _recording(x):
+        return Tensor(out)
+    vjp = backend.VJPS["softmax"]
 
     def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            # d softmax = s * (grad - sum(grad * s))
-            dot = (grad * out_data).sum(axis=axis, keepdims=True)
-            x._accumulate(out_data * (grad - dot))
+        x._accumulate_owned(vjp(residuals, grad))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out, (x,), backward)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - logsumexp
-    softmax_data = np.exp(out_data)
+    backend = _active()
+    out, residuals = backend.log_softmax(x.data, axis)
+    if not _recording(x):
+        return Tensor(out)
+    vjp = backend.VJPS["log_softmax"]
 
     def backward(grad: np.ndarray) -> None:
-        if x.requires_grad:
-            grad_sum = grad.sum(axis=axis, keepdims=True)
-            x._accumulate(grad - softmax_data * grad_sum)
+        x._accumulate_owned(vjp(residuals, grad))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out, (x,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused affine map ``x @ weight.T (+ bias)`` with one backward closure."""
+    backend = _active()
+    out, residuals = backend.linear(x.data, weight.data, None if bias is None else bias.data)
+    if not _recording(x, weight, bias):
+        return Tensor(out)
+    vjp = backend.VJPS["linear"]
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        needs = (
+            x.requires_grad,
+            weight.requires_grad,
+            bias is not None and bias.requires_grad,
+        )
+        grad_x, grad_w, grad_b = vjp(residuals, grad, needs)
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
+        if grad_w is not None:
+            weight._accumulate_owned(grad_w)
+        if grad_b is not None:
+            bias._accumulate_owned(grad_b)
+
+    return Tensor._make(out, parents, backward)
 
 
 def layer_norm(
     x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5
 ) -> Tensor:
     """Layer normalization over the last dimension with affine parameters."""
-    mean = x.data.mean(axis=-1, keepdims=True)
-    var = x.data.var(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    normalized = (x.data - mean) * inv_std
-    out_data = normalized * weight.data + bias.data
+    backend = _active()
+    out, residuals = backend.layernorm(x.data, weight.data, bias.data, eps)
+    if not _recording(x, weight, bias):
+        return Tensor(out)
+    vjp = backend.VJPS["layernorm"]
 
     def backward(grad: np.ndarray) -> None:
-        dim = x.data.shape[-1]
-        if weight.requires_grad:
-            weight._accumulate((grad * normalized).reshape(-1, dim).sum(axis=0))
-        if bias.requires_grad:
-            bias._accumulate(grad.reshape(-1, dim).sum(axis=0))
-        if x.requires_grad:
-            grad_norm = grad * weight.data
-            grad_mean = grad_norm.mean(axis=-1, keepdims=True)
-            grad_dot = (grad_norm * normalized).mean(axis=-1, keepdims=True)
-            x._accumulate(inv_std * (grad_norm - grad_mean - normalized * grad_dot))
+        needs = (x.requires_grad, weight.requires_grad, bias.requires_grad)
+        grad_x, grad_w, grad_b = vjp(residuals, grad, needs)
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
+        if grad_w is not None:
+            weight._accumulate_owned(grad_w)
+        if grad_b is not None:
+            bias._accumulate_owned(grad_b)
 
-    return Tensor._make(out_data, (x, weight, bias), backward)
+    return Tensor._make(out, (x, weight, bias), backward)
+
+
+def scaled_dot_product_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    scale: float,
+    mask: Optional[np.ndarray] = None,
+    dropout_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Fused attention kernel: ``softmax(mask(q k^T * scale)) (*dropout) @ v``.
+
+    ``mask`` is a boolean array broadcastable to the score shape (True hides);
+    ``dropout_mask`` a pre-drawn inverted-dropout multiplier (see
+    :meth:`repro.nn.layers.Dropout.draw_mask`).
+    """
+    backend = _active()
+    out, residuals = backend.scaled_dot_product_attention(
+        q.data, k.data, v.data, scale, mask, dropout_mask
+    )
+    if not _recording(q, k, v):
+        return Tensor(out)
+    vjp = backend.VJPS["scaled_dot_product_attention"]
+
+    def backward(grad: np.ndarray) -> None:
+        needs = (q.requires_grad, k.requires_grad, v.requires_grad)
+        grad_q, grad_k, grad_v = vjp(residuals, grad, needs)
+        if grad_q is not None:
+            q._accumulate_owned(grad_q)
+        if grad_k is not None:
+            k._accumulate_owned(grad_k)
+        if grad_v is not None:
+            v._accumulate_owned(grad_v)
+
+    return Tensor._make(out, (q, k, v), backward)
+
+
+def lora_matmul(
+    x: Tensor,
+    a: Tensor,
+    b: Tensor,
+    scaling: float,
+    dropout_mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Fused LoRA adapter delta ``scaling * (dropout(x) @ A^T @ B^T)``."""
+    backend = _active()
+    out, residuals = backend.lora_matmul(x.data, a.data, b.data, scaling, dropout_mask)
+    if not _recording(x, a, b):
+        return Tensor(out)
+    vjp = backend.VJPS["lora_matmul"]
+
+    def backward(grad: np.ndarray) -> None:
+        needs = (x.requires_grad, a.requires_grad, b.requires_grad)
+        grad_x, grad_a, grad_b = vjp(residuals, grad, needs)
+        if grad_x is not None:
+            x._accumulate_owned(grad_x)
+        if grad_a is not None:
+            a._accumulate_owned(grad_a)
+        if grad_b is not None:
+            b._accumulate_owned(grad_b)
+
+    return Tensor._make(out, (x, a, b), backward)
 
 
 def cross_entropy(
@@ -86,37 +185,28 @@ def cross_entropy(
         raise ValueError(
             f"targets shape {targets.shape} does not match logits {logits.data.shape[:-1]}"
         )
-    vocab = logits.data.shape[-1]
-    flat_logits = logits.data.reshape(-1, vocab)
-    flat_targets = targets.reshape(-1)
-
-    if ignore_index is not None:
-        valid = flat_targets != ignore_index
-    else:
-        valid = np.ones_like(flat_targets, dtype=bool)
-    valid_count = int(valid.sum())
-    if valid_count == 0:
-        raise ValueError("cross_entropy received no valid target positions")
-
-    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
-    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    log_probs = shifted - logsumexp
-
-    safe_targets = np.where(valid, flat_targets, 0)
-    picked = log_probs[np.arange(flat_targets.size), safe_targets]
-    loss_value = -(picked * valid).sum() / valid_count
+    backend = _active()
+    loss, residuals = backend.cross_entropy(logits.data, targets, ignore_index)
+    if not _recording(logits):
+        return Tensor(loss)
+    vjp = backend.VJPS["cross_entropy"]
 
     def backward(grad: np.ndarray) -> None:
-        if not logits.requires_grad:
-            return
-        probs = np.exp(log_probs)
-        grad_flat = probs
-        grad_flat[np.arange(flat_targets.size), safe_targets] -= 1.0
-        grad_flat *= valid[:, None]
-        grad_flat *= float(grad) / valid_count
-        logits._accumulate(grad_flat.reshape(logits.data.shape))
+        logits._accumulate_owned(vjp(residuals, grad))
 
-    return Tensor._make(np.asarray(loss_value, dtype=logits.data.dtype), (logits,), backward)
+    return Tensor._make(loss, (logits,), backward)
+
+
+def draw_dropout_mask(
+    shape, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Pre-drawn inverted-dropout multiplier (same draw as :func:`dropout`).
+
+    Used by fused kernels that fold the dropout multiply into the kernel
+    itself; drawing here keeps the RNG stream identical to the composed path.
+    """
+    keep_prob = 1.0 - rate
+    return (rng.random(shape) < keep_prob).astype(np.float32) / keep_prob
 
 
 def dropout(

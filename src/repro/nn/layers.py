@@ -13,7 +13,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.backend import active as _active
+from repro.nn.tensor import Tensor
 from repro.utils.rng import as_generator
 
 
@@ -139,17 +140,22 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        if not is_grad_enabled():
-            # Inference fast path: same arithmetic (x @ W^T + b) computed on
-            # the raw arrays, skipping the transpose/matmul/add op wrappers
-            # that would be discarded anyway.  `.T` is a view, not a copy.
-            data = x.data @ self.weight.data.T
-            if self.bias is not None:
-                data = data + self.bias.data
-            return Tensor(data)
-        out = x.matmul(self.weight.transpose(1, 0))
+        return F.linear(x, self.weight, self.bias)
+
+    def raw_forward(self, x: np.ndarray) -> np.ndarray:
+        """Array-level forward for the no-grad decode path (same kernel)."""
+        out, _ = _active().linear(x, self.weight.data, None if self.bias is None else self.bias.data)
+        return out
+
+    def project_row(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Single-row forward ``W x (+ b)`` into a preallocated ``out`` buffer.
+
+        Used by the fused single-token decode step: a GEMV into workspace
+        memory instead of an allocating batched matmul.
+        """
+        np.dot(self.weight.data, x, out=out)
         if self.bias is not None:
-            out = out + self.bias
+            out += self.bias.data
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -175,14 +181,21 @@ class Embedding(Module):
             name="embedding",
         )
 
-    def forward(self, token_ids: np.ndarray) -> Tensor:
+    def _validated(self, token_ids: np.ndarray) -> np.ndarray:
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.size and (token_ids.min() < 0 or token_ids.max() >= self.num_embeddings):
             raise IndexError(
                 f"token id out of range [0, {self.num_embeddings}): "
                 f"min={token_ids.min()}, max={token_ids.max()}"
             )
-        return self.weight.take_rows(token_ids)
+        return token_ids
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        return self.weight.take_rows(self._validated(token_ids))
+
+    def rows(self, token_ids: np.ndarray) -> np.ndarray:
+        """Array-level lookup for the no-grad decode path (fresh copy)."""
+        return self.weight.data[self._validated(token_ids)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
@@ -214,6 +227,18 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.rate, rng=self._rng, training=self.training)
+
+    def draw_mask(self, shape) -> Optional[np.ndarray]:
+        """Pre-draw this layer's inverted-dropout multiplier for fused kernels.
+
+        Returns ``None`` when dropout is inert (eval mode or rate 0), matching
+        :meth:`forward`'s identity behaviour — crucially, no RNG draw happens
+        in that case, so the random stream stays aligned with the composed
+        path.
+        """
+        if not self.training or self.rate == 0.0:
+            return None
+        return F.draw_dropout_mask(shape, self.rate, self._rng)
 
 
 class Sequential(Module):

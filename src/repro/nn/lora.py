@@ -18,7 +18,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.backend import active as _active
 from repro.nn.layers import Dropout, Linear, Module
 from repro.nn.tensor import Tensor
 from repro.utils.config import require_positive
@@ -91,9 +93,34 @@ class LoRALinear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         base_out = self.base(x)
-        adapted = self.lora_dropout(x).matmul(self.lora_a.transpose(1, 0))
-        adapted = adapted.matmul(self.lora_b.transpose(1, 0))
-        return base_out + adapted * self.config.scaling
+        dropout_mask = self.lora_dropout.draw_mask(x.shape)
+        delta = F.lora_matmul(
+            x, self.lora_a, self.lora_b, self.config.scaling, dropout_mask
+        )
+        return base_out + delta
+
+    def raw_forward(self, x: np.ndarray) -> np.ndarray:
+        """Array-level forward for the no-grad decode path (same kernels)."""
+        out = self.base.raw_forward(x)
+        dropout_mask = self.lora_dropout.draw_mask(x.shape)
+        delta, _ = _active().lora_matmul(
+            x, self.lora_a.data, self.lora_b.data, self.config.scaling, dropout_mask
+        )
+        out += delta
+        return out
+
+    def project_row(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Single-row decode projection: base GEMV plus the low-rank delta.
+
+        Only called from the fused decode step, which requires every dropout
+        to be inert (eval mode), so no mask is drawn here.
+        """
+        self.base.project_row(x, out)
+        mid = self.lora_a.data @ x
+        delta = self.lora_b.data @ mid
+        delta *= self.config.scaling
+        out += delta
+        return out
 
     def delta_weight(self) -> np.ndarray:
         """The dense weight delta ``(alpha/r) * B A`` contributed by the adapter."""

@@ -13,6 +13,7 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from repro.nn.backend import active as _active
 from repro.nn.tensor import Tensor
 from repro.utils.config import require_non_negative, require_positive
 
@@ -134,22 +135,26 @@ class Adam(Optimizer):
         self.eps = eps
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._workspace = _active().Workspace()
 
     def step(self) -> None:
         self._step_count += 1
+        backend = _active()
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        for index, (parameter, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            scratch_a = self._workspace.get(
+                ("a", index), parameter.data.shape, parameter.data.dtype
+            )
+            scratch_b = self._workspace.get(
+                ("b", index), parameter.data.shape, parameter.data.dtype
+            )
+            backend.adamw_step(
+                parameter.data, parameter.grad, m, v, scratch_a, scratch_b,
+                self.lr, self.beta1, self.beta2, self.eps, 0.0, bias1, bias2,
+            )
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -180,24 +185,26 @@ class AdamW(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._workspace = _active().Workspace()
 
     def step(self) -> None:
         self._step_count += 1
+        backend = _active()
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        for index, (parameter, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if parameter.grad is None:
                 continue
-            grad = parameter.grad
-            m *= self.beta1
-            m += (1.0 - self.beta1) * grad
-            v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            # Decoupled weight decay applied directly to the parameter.
-            parameter.data = parameter.data - self.lr * (
-                m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * parameter.data
+            scratch_a = self._workspace.get(
+                ("a", index), parameter.data.shape, parameter.data.dtype
+            )
+            scratch_b = self._workspace.get(
+                ("b", index), parameter.data.shape, parameter.data.dtype
+            )
+            # Decoupled weight decay is folded into the fused kernel.
+            backend.adamw_step(
+                parameter.data, parameter.grad, m, v, scratch_a, scratch_b,
+                self.lr, self.beta1, self.beta2, self.eps, self.weight_decay, bias1, bias2,
             )
 
     def state_dict(self) -> dict:
@@ -212,13 +219,15 @@ class AdamW(Optimizer):
 
 
 def clip_grad_norm(parameters: Sequence[Tensor], max_norm: float) -> float:
-    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm."""
+    """Clip gradients in-place to a global L2 norm; returns the pre-clip norm.
+
+    The squared norm is reduced in a single pass with float64 accumulation but
+    without materialising a float64 copy of any gradient (the old
+    ``grad.astype(np.float64) ** 2`` doubled peak gradient memory).
+    """
     require_positive("max_norm", max_norm)
-    total = 0.0
     grads = [p.grad for p in parameters if p.grad is not None]
-    for grad in grads:
-        total += float(np.sum(grad.astype(np.float64) ** 2))
-    norm = math.sqrt(total)
+    norm = math.sqrt(_active().grad_norm_sq(grads))
     if norm > max_norm and norm > 0.0:
         scale = max_norm / norm
         for grad in grads:

@@ -18,10 +18,16 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Unio
 
 import numpy as np
 
+from repro.nn.backend import active as _backend_active
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 _DEFAULT_DTYPE = np.float32
 _GELU_C = float(np.sqrt(2.0 / np.pi))
+
+# Sentinel marking a backward closure already consumed by a backward() sweep
+# (the graph is freed as the sweep walks it unless retain_graph=True).
+_CONSUMED = object()
 
 # Global autograd switch.  When False (inside ``inference_mode()``) no
 # operation records a backward closure or parent tuple, so forward passes
@@ -170,12 +176,29 @@ class Tensor:
         if self.grad is None:
             self.grad = grad.copy()
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
-    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient array this tensor may take ownership of.
+
+        Backend VJPs return freshly allocated arrays shaped exactly like the
+        input, so the first accumulation can steal the buffer instead of
+        copying it (the copy in :meth:`_accumulate` guards against aliasing
+        shared upstream grads, which cannot happen here).
+        """
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[ArrayLike] = None, retain_graph: bool = False) -> None:
         """Back-propagate from this tensor through the recorded graph.
 
-        ``grad`` defaults to ones (a scalar loss is the common case).
+        ``grad`` defaults to ones (a scalar loss is the common case).  Unless
+        ``retain_graph=True``, backward closures and parent links are released
+        as the sweep consumes them, so intermediate activations and residuals
+        become collectable immediately; a second ``backward()`` through the
+        same graph raises :class:`RuntimeError`.
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
@@ -187,24 +210,47 @@ class Tensor:
                 f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
             )
 
+        # Iterative post-order topo sort.  A recursive closure would both hit
+        # the recursion limit on deep graphs and form a self-referential cycle
+        # (the helper captures itself), leaving each step's entire graph to
+        # the cyclic collector — which shows up as multi-megabyte garbage and
+        # visible slowdowns in training loops.
         topo: list[Tensor] = []
         visited: set[int] = set()
-
-        def build(node: "Tensor") -> None:
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                topo.append(node)
+                continue
             if id(node) in visited:
-                return
+                continue
             visited.add(id(node))
+            stack.append((node, True))
             for parent in node._parents:
-                if parent.requires_grad:
-                    build(parent)
-            topo.append(node)
-
-        build(self)
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is None or node.grad is None:
+            backward_fn = node._backward
+            if backward_fn is _CONSUMED:
+                raise RuntimeError(
+                    "backward() through a graph that has already been freed; "
+                    "pass retain_graph=True to the first backward() call to "
+                    "back-propagate through it more than once"
+                )
+            if backward_fn is None or node.grad is None:
                 continue
-            node._backward(node.grad)
+            backward_fn(node.grad)
+        for node in topo:
+            if node._backward is not None:
+                # Interior grads were consumed by the sweep; clearing them
+                # releases the buffers and keeps a later backward (with
+                # retain_graph=True) from double-counting stale values.
+                node.grad = None
+                if not retain_graph:
+                    node._backward = _CONSUMED
+                    node._parents = ()
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -357,17 +403,14 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """GELU with the tanh approximation used by GPT-style models."""
-        x = self.data
-        c = _GELU_C  # sqrt(2/pi); a python float keeps the array dtype
-        inner = c * (x + 0.044715 * x**3)
-        t = np.tanh(inner)
-        data = 0.5 * x * (1.0 + t)
+        backend = _backend_active()
+        data, residuals = backend.gelu(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor(data)
+        vjp = backend.VJPS["gelu"]
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                dt = (1.0 - t**2) * c * (1.0 + 3 * 0.044715 * x**2)
-                local = 0.5 * (1.0 + t) + 0.5 * x * dt
-                self._accumulate(grad * local)
+            self._accumulate_owned(vjp(residuals, grad))
 
         return Tensor._make(data, (self,), backward)
 

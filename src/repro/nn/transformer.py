@@ -17,8 +17,9 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.nn.attention import LayerKVCache, MultiHeadSelfAttention
+from repro.nn.backend import active as _active
 from repro.nn.layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module
-from repro.nn.tensor import Tensor, inference_mode
+from repro.nn.tensor import Tensor, inference_mode, is_grad_enabled
 from repro.utils.config import require_positive
 from repro.utils.rng import as_generator
 
@@ -32,9 +33,9 @@ class KVCache:
     inside :func:`repro.nn.inference_mode`.
     """
 
-    def __init__(self, num_layers: int) -> None:
+    def __init__(self, num_layers: int, capacity: Optional[int] = None) -> None:
         require_positive("num_layers", num_layers)
-        self.layers = [LayerKVCache() for _ in range(num_layers)]
+        self.layers = [LayerKVCache(capacity=capacity) for _ in range(num_layers)]
 
     @property
     def length(self) -> int:
@@ -103,6 +104,35 @@ class TransformerBlock(Module):
         x = x + self.ffn(self.ln_ffn(x))
         return x
 
+    def raw_forward(
+        self,
+        hidden: np.ndarray,
+        attention_mask: Optional[np.ndarray],
+        cache: Optional[LayerKVCache],
+        backend,
+    ) -> np.ndarray:
+        """Array-level block forward (same kernels as the autograd path).
+
+        ``hidden`` must be owned by the caller: residuals are added in place.
+        """
+        normed, _ = backend.layernorm(
+            hidden, self.ln_attn.weight.data, self.ln_attn.bias.data, self.ln_attn.eps
+        )
+        attn = self.attention.raw_forward(normed, attention_mask, cache)
+        attn += hidden
+        hidden = attn
+        normed, _ = backend.layernorm(
+            hidden, self.ln_ffn.weight.data, self.ln_ffn.bias.data, self.ln_ffn.eps
+        )
+        up = self.ffn.up.raw_forward(normed)
+        act, _ = backend.gelu(up)
+        down = self.ffn.down.raw_forward(act)
+        dropout_mask = self.ffn.dropout.draw_mask(down.shape)
+        if dropout_mask is not None:
+            down *= dropout_mask
+        down += hidden
+        return down
+
 
 class TransformerLM(Module):
     """Decoder-only causal language model returning logits and hidden states."""
@@ -116,6 +146,7 @@ class TransformerLM(Module):
         self.embedding_dropout = Dropout(config.dropout_rate, rng=rng)
         self.blocks = [TransformerBlock(config, rng=rng) for _ in range(config.num_layers)]
         self.ln_final = LayerNorm(config.dim)
+        self._workspace = None  # lazily created by the fused decode step
         if config.tie_embeddings:
             self.lm_head: Optional[Linear] = None
         else:
@@ -168,10 +199,21 @@ class TransformerLM(Module):
                 raise ValueError(
                     f"position_ids shape {positions.shape} does not match tokens {(batch, seq)}"
                 )
+        elif batch == 1:
+            positions = np.arange(past, past + seq, dtype=np.int64).reshape(1, seq)
         else:
             positions = np.broadcast_to(
                 np.arange(past, past + seq, dtype=np.int64), (batch, seq)
             )
+
+        if not is_grad_enabled():
+            logits_data, hidden_data = self._forward_raw(
+                token_ids, attention_mask, kv_cache, positions
+            )
+            if return_hidden:
+                return Tensor(logits_data), Tensor(hidden_data)
+            return Tensor(logits_data)
+
         hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
         hidden = self.embedding_dropout(hidden)
         for index, block in enumerate(self.blocks):
@@ -187,6 +229,142 @@ class TransformerLM(Module):
         if return_hidden:
             return logits, hidden
         return logits
+
+    def _forward_raw(
+        self,
+        token_ids: np.ndarray,
+        attention_mask: Optional[np.ndarray],
+        kv_cache: Optional[KVCache],
+        positions: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-model array-level forward for the no-grad path.
+
+        Runs the same backend kernels as the autograd path (bit-identical
+        outputs) but builds no graph, allocates no Tensor wrappers per op, and
+        adds residuals in place.  Returns ``(logits, hidden)`` arrays.
+        """
+        backend = _active()
+        if (
+            kv_cache is not None
+            and attention_mask is None
+            and not self.training
+            and token_ids.shape == (1, 1)
+        ):
+            # Steady-state decode: one token, batch 1, every dropout inert.
+            logits_row, hidden_row = self._decode_step(
+                int(token_ids[0, 0]), int(positions[0, 0]), kv_cache, backend
+            )
+            # Copy out of the workspace so returned arrays survive later steps.
+            return (
+                logits_row.reshape(1, 1, -1).copy(),
+                hidden_row.reshape(1, 1, -1).copy(),
+            )
+        hidden = self.token_embedding.rows(token_ids)
+        # Positions were already range-checked against max_seq_len above, so
+        # the embedding's own bounds validation can be skipped here.
+        hidden += self.position_embedding.weight.data[positions]
+        dropout_mask = self.embedding_dropout.draw_mask(hidden.shape)
+        if dropout_mask is not None:
+            hidden *= dropout_mask
+        for index, block in enumerate(self.blocks):
+            layer_cache = kv_cache.layers[index] if kv_cache is not None else None
+            hidden = block.raw_forward(hidden, attention_mask, layer_cache, backend)
+        hidden, _ = backend.layernorm(
+            hidden, self.ln_final.weight.data, self.ln_final.bias.data, self.ln_final.eps
+        )
+        if self.lm_head is not None:
+            logits = self.lm_head.raw_forward(hidden)
+        else:
+            logits = hidden @ self.token_embedding.weight.data.T
+        return logits, hidden
+
+    def decode_logits(self, token_id: int, kv_cache: KVCache) -> np.ndarray:
+        """One fused single-token decode step; returns the ``(vocab,)`` logits row.
+
+        The tightest entry point for steady-state greedy/sampled decoding:
+        equivalent to ``forward([[token_id]], kv_cache=...)`` in eval mode but
+        without the batched-path wrapping.  The returned array is
+        workspace-owned — read it (or copy) before the next decode step.
+        """
+        if is_grad_enabled():
+            raise RuntimeError(
+                "KV cache is an inference structure; wrap the forward in "
+                "repro.nn.inference_mode() when decoding with a cache"
+            )
+        if self.training:
+            raise RuntimeError("decode_logits requires eval mode (dropout must be inert)")
+        past = kv_cache.length
+        if past + 1 > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {past + 1} (cached {past} + new 1) "
+                f"exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        if not 0 <= token_id < self.config.vocab_size:
+            raise IndexError(
+                f"token id out of range [0, {self.config.vocab_size}): "
+                f"min={token_id}, max={token_id}"
+            )
+        logits, _ = self._decode_step(token_id, past, kv_cache, _active())
+        return logits
+
+    def _decode_step(self, token_id: int, position: int, kv_cache: KVCache, backend):
+        """Fused per-token decode: row kernels + preallocated workspace.
+
+        Every intermediate lives in a :class:`Workspace` buffer keyed by
+        layer, so after the first step the whole forward runs allocation-free
+        apart from a few attention temporaries that grow with context length.
+        Returned rows are workspace-owned views — callers must copy.
+        """
+        workspace = self._workspace
+        if workspace is None:
+            workspace = self._workspace = backend.Workspace()
+        dim = self.config.dim
+        hidden = workspace.get("hidden", (dim,))
+        np.add(
+            self.token_embedding.weight.data[token_id],
+            self.position_embedding.weight.data[position],
+            out=hidden,
+        )
+        for index, block in enumerate(self.blocks):
+            normed = backend.layernorm_row(
+                hidden,
+                block.ln_attn.weight.data,
+                block.ln_attn.bias.data,
+                block.ln_attn.eps,
+                workspace.get(("ln_attn", index), (dim,)),
+            )
+            hidden += block.attention.raw_decode_row(
+                normed, kv_cache.layers[index], workspace, index
+            )
+            normed = backend.layernorm_row(
+                hidden,
+                block.ln_ffn.weight.data,
+                block.ln_ffn.bias.data,
+                block.ln_ffn.eps,
+                workspace.get(("ln_ffn", index), (dim,)),
+            )
+            up = block.ffn.up.project_row(
+                normed, workspace.get(("up", index), (block.ffn.up.out_features,))
+            )
+            act, _ = backend.gelu(up)
+            hidden += block.ffn.down.project_row(
+                act, workspace.get(("down", index), (dim,))
+            )
+        normed = backend.layernorm_row(
+            hidden,
+            self.ln_final.weight.data,
+            self.ln_final.bias.data,
+            self.ln_final.eps,
+            workspace.get("ln_final", (dim,)),
+        )
+        if self.lm_head is not None:
+            logits = self.lm_head.project_row(
+                normed, workspace.get("logits", (self.lm_head.out_features,))
+            )
+        else:
+            weight = self.token_embedding.weight.data
+            logits = np.dot(weight, normed, out=workspace.get("logits", (weight.shape[0],)))
+        return logits, normed
 
     # ------------------------------------------------------------------ #
     def hidden_states(
@@ -209,8 +387,12 @@ class TransformerLM(Module):
         return hidden.data
 
     def new_kv_cache(self) -> KVCache:
-        """A fresh, empty decoding cache sized for this model."""
-        return KVCache(self.config.num_layers)
+        """A fresh, empty decoding cache sized for this model.
+
+        The per-layer buffers are preallocated to ``max_seq_len`` positions so
+        steady-state decoding never reallocates or concatenates.
+        """
+        return KVCache(self.config.num_layers, capacity=self.config.max_seq_len)
 
     def attention_blocks(self) -> List[TransformerBlock]:
         """The list of decoder blocks (used by the LoRA injection helpers)."""

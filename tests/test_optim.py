@@ -93,6 +93,41 @@ class TestClipGradNorm:
         clip_grad_norm([parameter], max_norm=5.0)
         np.testing.assert_allclose(parameter.grad, [0.1, 0.1])
 
+    def test_norm_matches_legacy_astype_reduction(self):
+        # Pin the value of the old implementation, which materialized a
+        # float64 copy of every gradient: sum(g.astype(float64)**2).  The
+        # single-pass einsum reduction must agree to float64 precision.
+        rng = np.random.default_rng(7)
+        parameters = []
+        for shape in [(64, 32), (128,), (3, 5, 7)]:
+            parameter = Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+            parameter.grad = rng.standard_normal(shape).astype(np.float32) * 10.0
+            parameters.append(parameter)
+        legacy_total = 0.0
+        for parameter in parameters:
+            legacy_total += float(np.sum(parameter.grad.astype(np.float64) ** 2))
+        legacy_norm = float(np.sqrt(legacy_total))
+        norm = clip_grad_norm(parameters, max_norm=1e9)  # no clipping, pure norm
+        assert norm == pytest.approx(legacy_norm, rel=1e-12)
+
+    def test_does_not_copy_gradients(self):
+        # The reduction must run over the gradient buffers in place: the
+        # arrays must be the same objects (identity) and unchanged when no
+        # clipping occurs.
+        parameter = Tensor(np.zeros(16), requires_grad=True)
+        parameter.grad = np.linspace(-1.0, 1.0, 16).astype(np.float32)
+        buffer = parameter.grad
+        clip_grad_norm([parameter], max_norm=1e6)
+        assert parameter.grad is buffer
+
+    def test_noncontiguous_gradient(self):
+        parameter = Tensor(np.zeros((4, 6)), requires_grad=True)
+        strided = np.arange(24, dtype=np.float32).reshape(6, 4).T
+        parameter.grad = strided  # non-contiguous view
+        expected = float(np.sqrt(np.sum(strided.astype(np.float64) ** 2)))
+        norm = clip_grad_norm([parameter], max_norm=1e9)
+        assert norm == pytest.approx(expected, rel=1e-12)
+
 
 class TestSchedulers:
     def _optimizer(self):

@@ -229,6 +229,63 @@ class TestGraphMechanics:
         no_grad_parameters(tensors)
         assert all(not t.requires_grad for t in tensors)
 
+    def test_second_backward_raises_freed_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="retain_graph"):
+            loss.backward()
+
+    def test_backward_frees_graph_links(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = a * 3.0
+        out.sum().backward()
+        # Interior nodes drop their parent links so activations are freed.
+        assert out._parents == ()
+
+    def test_retain_graph_allows_second_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        loss = (a * a).sum()
+        loss.backward(retain_graph=True)
+        first = a.grad.copy()
+        loss.backward()
+        np.testing.assert_allclose(a.grad, 2.0 * first)
+
+    def test_backward_on_leaf_still_works_repeatedly(self):
+        # Leaves have no closure to consume; calling backward on a parameter
+        # directly (grad seeding) must not raise.
+        a = Tensor([3.0], requires_grad=True)
+        a.backward(np.array([1.0]))
+        a.backward(np.array([1.0]))
+        np.testing.assert_allclose(a.grad, [2.0])
+
+    def test_deep_graph_no_recursion_limit(self):
+        # The topo sort is iterative; a graph deeper than the Python
+        # recursion limit must still backpropagate.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(2000):
+            out = out + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+    def test_backward_leaves_no_reference_cycles(self):
+        # A freed graph must be reclaimed by reference counting alone; cyclic
+        # garbage from every training step previously piled up until gen-2
+        # collections, visibly stalling training loops.
+        import gc
+
+        a = Tensor(np.ones((8, 8)), requires_grad=True)
+        gc.disable()
+        try:
+            gc.collect()
+            loss = ((a * 2.0).gelu() * a).sum()
+            loss.backward()
+            del loss
+            assert gc.collect() == 0
+        finally:
+            gc.enable()
+
 
 class TestConcatenateStack:
     def test_concatenate_values_and_grads(self):
