@@ -1,0 +1,157 @@
+"""Benchmark F1 — socket front-end throughput, tail latency and determinism.
+
+Boots the asyncio TCP front-end (:mod:`repro.serve.frontend`) in a
+background thread over one shared pre-trained base model and drives a
+chat-only workload with ``NUM_USERS`` concurrent socket clients, one
+connection per user.  Measures, over real sockets:
+
+* sustained requests/sec across the whole driven load;
+* per-request latency (connect-to-``done``, token stream included) —
+  p50 / p99 / mean across all clients;
+* determinism: the run is executed twice from identical model state
+  (runtime snapshot restored between runs) and the two normalized
+  transcript digests must be byte-identical — the record/replay guarantee
+  measured under benchmark concurrency rather than test-sized loads.
+
+Writes ``BENCH_frontend.json`` next to this file (consumed by
+``scripts/perf_check.py --frontend``, which gates throughput and p99
+against the committed ``BENCH_frontend_baseline.json``).  Run directly
+(``python benchmarks/bench_frontend.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.presets import get_scale
+from repro.serve.client import ServeClient
+from repro.serve.frontend import FrontendThread, ServeFrontend
+from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load
+
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_frontend.json"
+
+NUM_USERS = 4
+NUM_REQUESTS = 32
+MAX_BATCH = 8
+RUNS = 2
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (values need not be sorted)."""
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _drive_user_timed(
+    host: str, port: int, user_id: str, questions: List[str]
+) -> List[float]:
+    """Drive one user's questions in order; returns per-request seconds."""
+    latencies: List[float] = []
+    async with ServeClient(host, port) as client:
+        await client.connect(user_id)
+        for question in questions:
+            start = time.perf_counter()
+            result = await client.chat(question)
+            latencies.append(time.perf_counter() - start)
+            assert not result.dead_letter, f"dead letter for {user_id}"
+        await client.bye()
+    return latencies
+
+
+async def _drive_all(host: str, port: int, per_user: Dict[str, List[str]]):
+    return await asyncio.gather(
+        *(
+            _drive_user_timed(host, port, user, questions)
+            for user, questions in sorted(per_user.items())
+        )
+    )
+
+
+def _run_once(llm, scale, per_user: Dict[str, List[str]]) -> Dict[str, object]:
+    """One server boot + timed drive; returns latencies, elapsed and digest."""
+    frontend = ServeFrontend(
+        host="127.0.0.1", port=0, scale=scale, seed=0, llm=llm, max_batch_size=MAX_BATCH
+    )
+    server = FrontendThread(frontend)
+    host, port = server.start()
+    start = time.perf_counter()
+    latencies_per_user = asyncio.run(_drive_all(host, port, per_user))
+    elapsed = time.perf_counter() - start
+    outcome = server.stop()
+    latencies = [latency for user in latencies_per_user for latency in user]
+    return {
+        "latencies": latencies,
+        "elapsed": elapsed,
+        "digest": outcome.transcript_digest,
+        "served": outcome.total_requests,
+    }
+
+
+def run_benchmark(runs: int = RUNS) -> Dict[str, object]:
+    """Measure the front-end under concurrent socket clients."""
+    scale = get_scale("smoke", seed=0)
+    load = LoadConfig(
+        num_users=NUM_USERS, num_requests=NUM_REQUESTS, chat_only=True, seed=0
+    )
+    llm = build_serving_llm(scale, dataset=load.dataset, seed=load.seed)
+    llm.add_lora()
+    snapshot = llm.export_runtime_state()
+
+    per_user: Dict[str, List[str]] = {}
+    for request in generate_load(load):
+        per_user.setdefault(request.user_id, []).append(request.question)
+
+    results = []
+    for _ in range(runs):
+        llm.load_runtime_state(snapshot)
+        results.append(_run_once(llm, scale, per_user))
+
+    digests = {result["digest"] for result in results}
+    best = min(results, key=lambda result: result["elapsed"])
+    latencies = best["latencies"]
+    summary = {
+        "benchmark": "frontend_throughput",
+        "num_users": NUM_USERS,
+        "num_requests": NUM_REQUESTS,
+        "max_batch_size": MAX_BATCH,
+        "runs": runs,
+        "model": {
+            "dim": llm.config.dim,
+            "num_layers": llm.config.num_layers,
+            "num_heads": llm.config.num_heads,
+            "max_seq_len": llm.config.max_seq_len,
+        },
+        "requests_per_sec": round(NUM_REQUESTS / best["elapsed"], 2),
+        "latency_ms": {
+            "p50": round(1e3 * _percentile(latencies, 0.50), 3),
+            "p99": round(1e3 * _percentile(latencies, 0.99), 3),
+            "mean": round(1e3 * sum(latencies) / len(latencies), 3),
+            "max": round(1e3 * max(latencies), 3),
+        },
+        "digest_stable": len(digests) == 1,
+        "transcript_digest": best["digest"],
+    }
+    RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def test_frontend_throughput():
+    """Two socket-driven runs must serve everything and digest identically."""
+    summary = run_benchmark()
+    print(
+        f"\n[Frontend] {summary['requests_per_sec']} req/sec over "
+        f"{summary['num_users']} socket clients; latency p50 "
+        f"{summary['latency_ms']['p50']} ms / p99 {summary['latency_ms']['p99']} ms; "
+        f"digest stable: {summary['digest_stable']}"
+    )
+    assert summary["digest_stable"], "socket serving digest differed between runs"
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2))

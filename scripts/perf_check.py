@@ -30,11 +30,19 @@ numbers: the decode tentpole gate requires kv-cached decode to stay at least
 ``REQUIRED_DECODE_UPLIFT``x above it, so a change that quietly gives the
 speedup back fails CI rather than ratcheting the baseline down.
 
+With ``--frontend`` the socket front-end benchmark
+(``benchmarks/bench_frontend.py``) runs too: digest stability across two
+socket-driven runs is enforced unconditionally (machine-independent), and
+sustained req/s plus p99 latency are gated against the committed
+``BENCH_frontend_baseline.json`` (skipped under ``--ratio-only``; the
+bounds are generous because CI runners vary).
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
                                                 [--serving] [--chaos-overhead]
-                                                [--training] [--ratio-only]
+                                                [--training] [--frontend]
+                                                [--ratio-only]
 
 ``--update`` rewrites the baseline from the current run (use after an
 intentional perf change, on the machine that produces the committed numbers).
@@ -58,6 +66,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_generation_baseline.json"
 TRAINING_BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_training_baseline.json"
+FRONTEND_BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_frontend_baseline.json"
 
 PATHS_CHECKED = ("full_forward", "kv_cached", "batched")
 
@@ -74,6 +83,12 @@ EXIT_BASELINE_MALFORMED = 4
 # Journaling every request may cost at most this fraction of the batched
 # serving throughput (machine-independent: both sides measured in-run).
 MAX_JOURNAL_OVERHEAD = 0.10
+
+# Socket front-end gates (--frontend).  The absolute bounds are generous —
+# GitHub runners vary wildly — while the structural digest-stability check
+# is exact and enforced even under --ratio-only.
+FRONTEND_THROUGHPUT_FLOOR_FRACTION = 0.5
+FRONTEND_P99_CEILING_FACTOR = 3.0
 
 
 class BaselineError(ValueError):
@@ -111,6 +126,38 @@ def load_baseline(path: Path) -> dict:
         if value <= 0.0:
             raise BaselineError(f"'tokens_per_sec.{decode_path}' must be positive, got {value}")
     return baseline
+
+
+def load_frontend_baseline(path: Path) -> dict:
+    """The committed socket front-end baseline (throughput + latency)."""
+    text = path.read_text()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"not valid JSON ({error})") from error
+    if not isinstance(payload, dict):
+        raise BaselineError("top level is not an object")
+    try:
+        throughput = float(payload.get("requests_per_sec"))
+    except (TypeError, ValueError):
+        raise BaselineError(
+            f"'requests_per_sec' is not a number ({payload.get('requests_per_sec')!r})"
+        ) from None
+    if throughput <= 0.0:
+        raise BaselineError(f"'requests_per_sec' must be positive, got {throughput}")
+    latency = payload.get("latency_ms")
+    if not isinstance(latency, dict):
+        raise BaselineError("missing the 'latency_ms' object")
+    for key in ("p50", "p99"):
+        try:
+            value = float(latency.get(key))
+        except (TypeError, ValueError):
+            raise BaselineError(
+                f"'latency_ms.{key}' is not a number ({latency.get(key)!r})"
+            ) from None
+        if value <= 0.0:
+            raise BaselineError(f"'latency_ms.{key}' must be positive, got {value}")
+    return payload
 
 
 def load_training_baseline(path: Path) -> dict:
@@ -168,12 +215,19 @@ def main() -> int:
              f">={REQUIRED_FINETUNE_SPEEDUP:.0f}x fused-over-legacy LoRA "
              "fine-tune step speedup",
     )
+    parser.add_argument(
+        "--frontend", action="store_true",
+        help="also run the socket front-end benchmark: digest stability is "
+             "enforced always; throughput/p99 are gated against "
+             "BENCH_frontend_baseline.json unless --ratio-only",
+    )
     args = parser.parse_args()
 
     # Validate the baselines *before* spending a minute on the benchmarks,
     # and report each failure mode distinctly instead of a traceback.
     baseline = None
     training_baseline = None
+    frontend_baseline = None
     if not args.update:
         try:
             checked_path = BASELINE_PATH
@@ -181,6 +235,9 @@ def main() -> int:
             if args.training:
                 checked_path = TRAINING_BASELINE_PATH
                 training_baseline = load_training_baseline(TRAINING_BASELINE_PATH)
+            if args.frontend:
+                checked_path = FRONTEND_BASELINE_PATH
+                frontend_baseline = load_frontend_baseline(FRONTEND_BASELINE_PATH)
         except FileNotFoundError:
             print(
                 f"ERROR: baseline file missing: {checked_path}\n"
@@ -207,6 +264,14 @@ def main() -> int:
     if args.update:
         BASELINE_PATH.write_text(json.dumps(summary, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
+        if args.frontend:
+            from bench_frontend import run_benchmark as run_frontend_benchmark
+
+            frontend_summary = run_frontend_benchmark()
+            FRONTEND_BASELINE_PATH.write_text(
+                json.dumps(frontend_summary, indent=2) + "\n"
+            )
+            print(f"frontend baseline written to {FRONTEND_BASELINE_PATH}")
         return 0
 
     print("baseline tokens/sec:", json.dumps(baseline))
@@ -297,6 +362,47 @@ def main() -> int:
             )
             if float(seconds["finetune_step"]) > ceiling:
                 failures.append("finetune_step_absolute")
+
+    if args.frontend:
+        from bench_frontend import run_benchmark as run_frontend_benchmark
+
+        frontend = run_frontend_benchmark()
+        throughput = float(frontend["requests_per_sec"])
+        p99 = float(frontend["latency_ms"]["p99"])
+        print(
+            f"frontend: {throughput} req/sec over {frontend['num_users']} socket "
+            f"clients; p50 {frontend['latency_ms']['p50']} ms / p99 {p99} ms; "
+            f"digest stable: {frontend['digest_stable']}"
+        )
+        # Structural (machine-independent, enforced even under --ratio-only):
+        # two socket-driven runs must produce identical transcript digests.
+        if not frontend["digest_stable"]:
+            failures.append("frontend_digest_stability")
+        if args.ratio_only:
+            print("  (absolute frontend comparison skipped: --ratio-only)")
+        else:
+            floor = float(frontend_baseline["requests_per_sec"]) * (
+                FRONTEND_THROUGHPUT_FLOOR_FRACTION
+            )
+            ceiling = float(frontend_baseline["latency_ms"]["p99"]) * (
+                FRONTEND_P99_CEILING_FACTOR
+            )
+            status = "ok" if throughput >= floor else "REGRESSED"
+            print(
+                f"  throughput {throughput:.1f} vs baseline "
+                f"{float(frontend_baseline['requests_per_sec']):.1f} req/sec "
+                f"(floor {floor:.1f}) {status}"
+            )
+            if throughput < floor:
+                failures.append("frontend_throughput")
+            status = "ok" if p99 <= ceiling else "REGRESSED"
+            print(
+                f"  p99 {p99:.1f} ms vs baseline "
+                f"{float(frontend_baseline['latency_ms']['p99']):.1f} ms "
+                f"(ceiling {ceiling:.1f} ms) {status}"
+            )
+            if p99 > ceiling:
+                failures.append("frontend_p99_latency")
 
     if failures:
         print(f"FAIL: throughput regressed: {', '.join(failures)}")

@@ -216,6 +216,69 @@ def build_parser() -> argparse.ArgumentParser:
         "(chaos smoke uses 1 to keep restarts fast)",
     )
     serve.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over a real TCP socket instead of a synthetic load: start "
+        "the asyncio front-end (newline-delimited JSON protocol; port 0 "
+        "binds an ephemeral port) and run until SIGINT/SIGTERM or a "
+        "client's shutdown op drains it",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="with --listen: write the bound port here once the socket is "
+        "live (how CI discovers a --listen 127.0.0.1:0 server)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="with --listen: record every admitted request to a replayable "
+        "trace file (see `repro replay`)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="with --listen: max accepted-but-unfinished requests before "
+        "clients get busy frames (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="with --listen: max in-flight requests per user before busy "
+        "frames (default 4)",
+    )
+
+    replay_cmd = subparsers.add_parser(
+        "replay",
+        help="replay a recorded serve trace against a fresh server",
+        description=(
+            "Boot a fresh front-end server from the configuration recorded in "
+            "TRACE, re-drive the recorded per-user request streams over real "
+            "sockets, and compare the resulting transcript digest against the "
+            "recorded one.  Exits 0 on a byte-identical digest, 1 on a "
+            "mismatch, 2 when the trace is missing/malformed."
+        ),
+    )
+    replay_cmd.add_argument("trace", help="trace file recorded with `repro serve --trace-out`")
+    replay_cmd.add_argument(
+        "--pretrain-epochs",
+        type=int,
+        default=None,
+        help="override the recorded base-model pre-training epochs",
+    )
+    replay_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON comparison report here",
+    )
+    replay_cmd.add_argument("--quiet", action="store_true", help="suppress progress logging")
     return parser
 
 
@@ -294,9 +357,201 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_frontend(args: argparse.Namespace) -> int:
+    """The ``repro serve --listen`` path: a real TCP server until drained."""
+    import json
+    import shutil
+    from pathlib import Path
+
+    from repro.experiments.presets import get_scale
+    from repro.serve.errors import RetryPolicy
+    from repro.serve.faults import FaultPlan
+    from repro.serve.frontend import ServeFrontend, parse_listen
+
+    try:
+        host, port = parse_listen(args.listen)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    scale = get_scale(args.scale, seed=args.seed)
+    fault_plan = FaultPlan.from_env()
+    durable = args.state_dir is not None or args.resume
+
+    out_dir = args.out
+    if out_dir is None and not args.no_artifacts:
+        out_dir = f"runs/serve-frontend-{scale.name}-seed{args.seed}"
+    adapter_dir = None
+    out_path = None
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        adapter_dir = out_path / "adapters"
+        if adapter_dir.exists() and not args.resume:
+            shutil.rmtree(adapter_dir)
+    state_dir = Path(args.state_dir) if args.state_dir is not None else None
+    if durable and state_dir is None and out_path is not None:
+        state_dir = out_path / "state"
+    if state_dir is not None and state_dir.exists() and not args.resume:
+        shutil.rmtree(state_dir)
+
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    frontend = ServeFrontend(
+        host=host,
+        port=port,
+        scale=scale,
+        seed=args.seed,
+        dataset=args.dataset,
+        pretrain_epochs=args.pretrain_epochs,
+        cache_capacity=args.cache_capacity,
+        max_batch_size=args.max_batch,
+        adapter_dir=adapter_dir,
+        state_dir=state_dir,
+        resume=args.resume,
+        fault_plan=fault_plan,
+        retry=retry,
+        deadline_seconds=args.deadline,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_user=args.max_inflight,
+        trace_path=args.trace_out,
+        port_file=args.port_file,
+        install_signal_handlers=True,
+    )
+    outcome = frontend.run()
+    print(f"== serve front-end (scale={scale.name}, seed={args.seed}) ==")
+    print(
+        f"served {outcome.total_requests} request(s) "
+        f"({outcome.chat_requests} chat / {outcome.personalize_requests} personalize) "
+        f"for {outcome.num_users} user(s) on {outcome.host}:{outcome.port}"
+    )
+    print(
+        f"throughput: {outcome.requests_per_sec:.2f} req/s "
+        f"({outcome.elapsed_seconds:.1f}s listening)"
+    )
+    if outcome.busy_rejections:
+        print(
+            f"backpressure: {outcome.busy_rejections} busy refusal(s), "
+            f"peak depth {outcome.max_queue_depth_seen}"
+        )
+    if outcome.dead_letter_requests or outcome.degraded_chat_requests:
+        print(
+            f"robustness: {outcome.degraded_chat_requests} degraded chats, "
+            f"{outcome.dead_letter_requests} dead-lettered"
+        )
+    if outcome.replayed_requests:
+        print(f"crash recovery: {outcome.replayed_requests} request(s) recovered on resume")
+    print(f"transcript digest: {outcome.transcript_digest}")
+    if outcome.journal_digest is not None:
+        print(f"journal digest: {outcome.journal_digest}")
+    if args.trace_out is not None:
+        print(f"trace: {args.trace_out}")
+    if out_path is not None:
+        result_path = out_path / "serve_result.json"
+        payload = outcome.to_dict()
+        payload["scale"] = scale.name
+        payload["seed"] = args.seed
+        result_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"result: {result_path}")
+    if outcome.all_dead_lettered:
+        print(
+            "error: every request dead-lettered — the serving layer made no "
+            "progress (dead-letter frames were delivered before close)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    if not args.quiet:
+        enable_console_logging()
+
+    import json
+    from pathlib import Path
+
+    from repro.experiments.presets import get_scale
+    from repro.serve.client import replay_trace_against
+    from repro.serve.frontend import FrontendThread, ServeFrontend
+    from repro.serve.trace import TraceError, load_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if trace.dropped_records:
+        print(
+            f"error: trace has {trace.dropped_records} corrupt record(s); "
+            "refusing to replay against a damaged expectation",
+            file=sys.stderr,
+        )
+        return 2
+    if trace.digest is None:
+        print(
+            "error: trace has no summary digest (recorder was killed before "
+            "the run drained); nothing to verify against",
+            file=sys.stderr,
+        )
+        return 2
+
+    meta = trace.meta
+    seed = int(meta.get("seed", 0))
+    scale = get_scale(meta.get("scale"), seed=seed)
+    pretrain_epochs = args.pretrain_epochs
+    if pretrain_epochs is None:
+        recorded = meta.get("pretrain_epochs")
+        pretrain_epochs = None if recorded is None else int(recorded)
+    frontend = ServeFrontend(
+        host="127.0.0.1",
+        port=0,
+        scale=scale,
+        seed=seed,
+        dataset=meta.get("dataset", "meddialog"),
+        pretrain_epochs=pretrain_epochs,
+        max_batch_size=int(meta.get("max_batch_size", 8)),
+    )
+    server = FrontendThread(frontend)
+    host, port = server.start()
+    print(f"replaying {len(trace.requests)} request(s) against {host}:{port}")
+    try:
+        replay_trace_against(host, port, trace)
+    finally:
+        outcome = server.stop()
+    match = outcome.transcript_digest == trace.digest
+    print(f"recorded digest: {trace.digest}")
+    print(f"replayed digest: {outcome.transcript_digest}")
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(
+                {
+                    "trace": str(args.trace),
+                    "requests": len(trace.requests),
+                    "recorded_digest": trace.digest,
+                    "replayed_digest": outcome.transcript_digest,
+                    "match": match,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    if not match:
+        print("error: replay diverged from the recorded run", file=sys.stderr)
+        return 1
+    print("replay matches the recorded run")
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if not args.quiet:
         enable_console_logging()
+    if args.listen is not None:
+        return _command_serve_frontend(args)
+    for flag, name in (
+        (args.port_file, "--port-file"),
+        (args.trace_out, "--trace-out"),
+    ):
+        if flag is not None:
+            print(f"error: {name} requires --listen", file=sys.stderr)
+            return 2
     if args.no_artifacts and args.out is not None:
         print(
             "error: --out and --no-artifacts contradict each other "
@@ -463,6 +718,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_run(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "replay":
+        return _command_replay(args)
     parser.print_help()
     return 0
 

@@ -16,7 +16,13 @@ subsystem splits into four parts —
   :mod:`repro.serve.errors` / :mod:`repro.serve.health` — the robustness
   layer: durable request journal with crash-safe replay, deterministic
   fault injection, the typed error taxonomy + retry policy, and component
-  health states (see ``docs/robustness.md``).
+  health states (see ``docs/robustness.md``);
+* :mod:`repro.serve.frontend` / :mod:`repro.serve.client` /
+  :mod:`repro.serve.trace` — the network layer: an asyncio TCP front-end
+  speaking a newline-delimited JSON protocol with token streaming and
+  backpressure, the matching socket client / load driver, and request-trace
+  record/replay for deterministic regression testing over real sockets
+  (see ``docs/serving.md``).
 """
 
 from repro.serve.adapter_store import (
@@ -35,12 +41,25 @@ from repro.serve.errors import (
     StoreIOError,
     TransientServingError,
 )
+from repro.serve.client import ClientError, ServeClient, drive_load, replay_trace_against
 from repro.serve.faults import (
     CRASH_POINTS,
     FaultInjector,
     FaultPlan,
     InjectedCrash,
     chaos_plan,
+)
+from repro.serve.frontend import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrontendOutcome,
+    FrontendThread,
+    ProtocolError,
+    SchedulerBridge,
+    ServeFrontend,
+    decode_frame,
+    encode_frame,
+    frontend_transcript_digest,
 )
 from repro.serve.health import ComponentHealth, HealthRegistry, HealthState
 from repro.serve.journal import (
@@ -68,15 +87,19 @@ from repro.serve.session import (
     serving_framework_config,
     user_seed,
 )
+from repro.serve.trace import Trace, TraceError, TraceRecorder, load_trace
 
 __all__ = [
     "AdapterStoreError",
     "CRASH_POINTS",
     "ChatRequest",
+    "ClientError",
     "ComponentHealth",
     "DeadlineExceededError",
     "FaultInjector",
     "FaultPlan",
+    "FrontendOutcome",
+    "FrontendThread",
     "HealthRegistry",
     "HealthState",
     "InjectedCrash",
@@ -85,13 +108,19 @@ __all__ = [
     "JournalReplay",
     "LoRAAdapterStore",
     "LoadConfig",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "PermanentServingError",
     "PersonalizeOutcome",
     "PersonalizeRequest",
     "PoisonRequestError",
+    "ProtocolError",
     "RequestJournal",
     "RequestScheduler",
     "RetryPolicy",
+    "SchedulerBridge",
+    "ServeClient",
+    "ServeFrontend",
     "ServeOutcome",
     "ServeReport",
     "ServeTurn",
@@ -99,14 +128,23 @@ __all__ = [
     "SessionManager",
     "StoreIOError",
     "StoreStats",
+    "Trace",
+    "TraceError",
+    "TraceRecorder",
     "UserSession",
     "build_serving_llm",
     "chaos_plan",
+    "decode_frame",
+    "drive_load",
+    "encode_frame",
     "entries_digest",
+    "frontend_transcript_digest",
     "generate_load",
     "journal_digest",
+    "load_trace",
     "make_session_manager",
     "replay",
+    "replay_trace_against",
     "run_serve",
     "serving_framework_config",
     "transcript_digest",

@@ -1,0 +1,1145 @@
+"""Async network front-end: real sockets in front of the request scheduler.
+
+``repro serve --listen HOST:PORT`` promotes the in-process serving core
+(PRs 3/6) into an actual server: an :mod:`asyncio` TCP front-end speaking a
+small newline-delimited JSON protocol —
+
+* ``connect`` — bind the connection to a user id;
+* ``chat`` — answer one question, streamed back as incremental ``token``
+  frames followed by a ``done`` frame;
+* ``personalize`` — feed annotated dialogue sets through the pipeline
+  stages and fine-tune the user's adapter;
+* ``stats`` / ``health`` — serving counters and component health;
+* ``bye`` / ``shutdown`` — close one connection / drain the whole server.
+
+The event loop never touches the model.  Accepted requests cross a
+**bounded bridge** (:class:`SchedulerBridge`) into a single worker thread
+that owns the existing :class:`~repro.serve.scheduler.RequestScheduler` —
+same-adapter batching, round-robin fairness, the journal, retries and the
+dead-letter ladder all apply unchanged to socket traffic.  Admission is
+limited by a global queue depth and a per-user in-flight cap; requests over
+either bound are refused with a ``busy`` frame instead of buffering
+unboundedly, so a flood (or a slow client pipelining blindly) can never
+grow the bridge past its bound.
+
+``SIGINT``/``SIGTERM`` (or a ``shutdown`` op) drain gracefully: admission
+closes, the worker finishes every accepted batch, every produced frame —
+including dead-letter frames — is flushed to its client, and only then do
+the sockets close.  With a ``state_dir`` the run is durable exactly like
+``repro serve``: requests are journaled on submission and a killed server
+resumes via the PR-6 replay path (finished work skipped, committed
+fine-tunes rolled forward, the rest re-served before the socket opens).
+
+Determinism across runs is fingerprinted by a **normalized transcript
+digest**: entries are keyed by ``(user_id, per-user sequence number)``
+instead of the globally-assigned request id, because the global arrival
+interleaving of concurrent connections is scheduling noise while each
+user's own order is carried in-order by its connection.  Chat responses are
+greedy and per-user adapter state is order-independent across users (the
+PR-6 reseeding discipline), so two runs of the same per-user workloads
+produce byte-identical digests no matter how the network interleaves them
+— the property the trace record/replay loadgen (:mod:`repro.serve.trace`)
+and the ``frontend-smoke`` CI job assert over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import queue
+import signal
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.data.dialogue import DialogueSet
+from repro.data.lexicons import LexiconCollection, builtin_lexicons
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.llm.model import OnDeviceLLM
+from repro.serve.adapter_store import AdapterStoreError, LoRAAdapterStore, validate_user_id
+from repro.serve.errors import RetryPolicy, ServingError, TransientServingError
+from repro.serve.faults import FaultInjector, FaultPlan
+from repro.serve.health import ComponentHealth, HealthRegistry
+from repro.serve.journal import (
+    JOURNAL_FILE,
+    JournalError,
+    RequestJournal,
+    journal_digest,
+    replay,
+)
+from repro.serve.loadgen import build_serving_llm
+from repro.serve.runner import (
+    make_session_manager,
+    restore_shared_streams,
+    roll_forward,
+    serving_generation_config,
+)
+from repro.serve.scheduler import (
+    CHAT,
+    PERSONALIZE,
+    ChatRequest,
+    PersonalizeRequest,
+    Request,
+    RequestScheduler,
+)
+
+PROTOCOL_VERSION = 1
+SERVER_NAME = "repro-serve"
+
+#: One frame (a newline-terminated JSON object) may be at most this long.
+MAX_FRAME_BYTES = 1 << 20
+
+DEFAULT_MAX_QUEUE_DEPTH = 64
+DEFAULT_MAX_INFLIGHT_PER_USER = 4
+
+# Client -> server operations.
+OP_CONNECT = "connect"
+OP_CHAT = "chat"
+OP_PERSONALIZE = "personalize"
+OP_STATS = "stats"
+OP_HEALTH = "health"
+OP_BYE = "bye"
+OP_SHUTDOWN = "shutdown"
+
+# Server -> client frame kinds.
+FRAME_HELLO = "hello"
+FRAME_TOKEN = "token"
+FRAME_DONE = "done"
+FRAME_DEAD_LETTER = "dead_letter"
+FRAME_BUSY = "busy"
+FRAME_ERROR = "error"
+FRAME_STATS = "stats"
+FRAME_HEALTH = "health"
+FRAME_BYE = "bye"
+
+# Typed error codes carried by ``error`` frames.
+ERR_PROTOCOL = "protocol"  # undecodable line / not a JSON object
+ERR_OVERSIZED = "oversized"  # frame longer than MAX_FRAME_BYTES
+ERR_UNKNOWN_OP = "unknown_op"  # well-formed frame, unrecognized "op"
+ERR_BAD_PAYLOAD = "bad_payload"  # recognized op, missing/ill-typed fields
+
+# ``busy`` frame reasons.
+BUSY_QUEUE_FULL = "queue_full"
+BUSY_USER_LIMIT = "user_limit"
+BUSY_DRAINING = "draining"
+
+
+class ProtocolError(ServingError):
+    """A frame violated the wire protocol (carries the typed error code)."""
+
+    def __init__(self, code: str, reason: str) -> None:
+        super().__init__(reason)
+        self.code = code
+        self.reason = reason
+
+
+def encode_frame(frame: dict) -> bytes:
+    """One wire frame: canonical JSON + ``\\n`` (raises when oversized)."""
+    data = json.dumps(frame, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_FRAME_BYTES:
+        raise ProtocolError(ERR_OVERSIZED, f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    return data + b"\n"
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a frame dict (raises :class:`ProtocolError`)."""
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(ERR_OVERSIZED, f"frame of {len(line)} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(ERR_PROTOCOL, f"frame is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(ERR_PROTOCOL, "frame must be a JSON object")
+    return payload
+
+
+def stream_chunks(text: str) -> List[str]:
+    """How a response is split into incremental ``token`` frames.
+
+    Word-level chunks (the reproduction's tokenizer is word-level); joining
+    with single spaces reconstructs the response exactly, and the ``done``
+    frame carries the authoritative full string regardless.
+    """
+    return text.split(" ") if text else []
+
+
+# ---------------------------------------------------------------------- #
+# the normalized transcript digest
+# ---------------------------------------------------------------------- #
+def normalize_entry(entry: dict, user_seq: int) -> dict:
+    """One transcript entry keyed for cross-run comparison.
+
+    The globally-assigned ``request_id`` encodes the arrival interleaving of
+    concurrent connections — scheduling noise, not serving behaviour — so it
+    is replaced by the per-user sequence number, which every connection
+    carries deterministically.
+    """
+    normalized = {key: value for key, value in entry.items() if key != "request_id"}
+    normalized["user_seq"] = user_seq
+    return normalized
+
+
+def frontend_transcript_digest(normalized_entries: List[dict]) -> str:
+    """SHA-256 over normalized entries sorted by ``(user_id, user_seq)``."""
+    ordered = sorted(normalized_entries, key=lambda e: (e["user_id"], e["user_seq"]))
+    encoded = json.dumps(ordered, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# the bridge: event loop -> scheduler worker thread
+# ---------------------------------------------------------------------- #
+_STOP = object()
+
+
+class SchedulerBridge:
+    """Bounded hand-off between the socket layer and the scheduler thread.
+
+    The event loop *admits* requests (:meth:`try_admit` + :meth:`enqueue`);
+    one worker thread owns the scheduler exclusively, draining the hand-off
+    queue in arrival order, submitting (which journals, when durable) and
+    serving.  Results flow back through the scheduler's ``entry_listener``
+    the moment each transcript entry is produced, so dead-letter frames
+    reach clients as promptly as successes.
+
+    Backpressure is enforced at admission: ``max_queue_depth`` bounds the
+    total accepted-but-unfinished requests and ``max_inflight_per_user``
+    bounds any single user, so neither a flood nor one greedy client can
+    grow the bridge beyond its bounds — the overflow is refused with a
+    ``busy`` frame, never buffered.
+    """
+
+    def __init__(
+        self,
+        scheduler: RequestScheduler,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_inflight_per_user: int = DEFAULT_MAX_INFLIGHT_PER_USER,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_inflight_per_user < 1:
+            raise ValueError(
+                f"max_inflight_per_user must be >= 1, got {max_inflight_per_user}"
+            )
+        self.scheduler = scheduler
+        scheduler.entry_listener = self._on_entry
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_user = max_inflight_per_user
+        self.health = ComponentHealth("frontend")
+        self._items: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, int] = {}
+        self._inflight_total = 0
+        self._user_seq: Dict[str, int] = {}
+        self._request_keys: Dict[int, Tuple[str, int]] = {}
+        self._deliveries: Dict[int, Callable[[dict], None]] = {}
+        self.busy_rejections = 0
+        self.max_depth_seen = 0
+        self._thread: Optional[threading.Thread] = None
+
+    # -- admission (event-loop thread) --------------------------------- #
+    def try_admit(self, user_id: str) -> Optional[str]:
+        """Reserve one in-flight slot; returns a ``busy`` reason or None."""
+        with self._lock:
+            if self._inflight_total >= self.max_queue_depth:
+                self.busy_rejections += 1
+                return BUSY_QUEUE_FULL
+            if self._inflight.get(user_id, 0) >= self.max_inflight_per_user:
+                self.busy_rejections += 1
+                return BUSY_USER_LIMIT
+            self._inflight_total += 1
+            self._inflight[user_id] = self._inflight.get(user_id, 0) + 1
+            self.max_depth_seen = max(self.max_depth_seen, self._inflight_total)
+            return None
+
+    def enqueue(self, request: Request, deliver: Callable[[dict], None]) -> None:
+        """Hand one *admitted* request to the worker thread."""
+        self._items.put((request, deliver))
+
+    @property
+    def inflight_total(self) -> int:
+        with self._lock:
+            return self._inflight_total
+
+    # -- the resume path (before the socket opens) --------------------- #
+    def submit_local(self, request: Request, journal_record: bool = True) -> Request:
+        """Submit a request that has no client connection (journal replay).
+
+        Runs in whatever thread owns the scheduler at the time (the worker
+        is not started yet); the entry keeps its normalized key so resumed
+        work lands in the same digest as live work.
+        """
+        submitted = self.scheduler.submit(request, journal_record=journal_record)
+        self._assign_key(submitted)
+        return submitted
+
+    def _assign_key(self, submitted: Request) -> None:
+        seq = self._user_seq.get(submitted.user_id, 0)
+        self._user_seq[submitted.user_id] = seq + 1
+        self._request_keys[submitted.request_id] = (submitted.user_id, seq)
+
+    # -- the worker thread --------------------------------------------- #
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-bridge", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Drain every accepted request, deliver its result, stop the worker.
+
+        Blocking; called off the event loop.  Admission must already be
+        closed (the front-end flips to draining first), so nothing can race
+        in behind the stop sentinel.
+        """
+        if self._thread is None:
+            self._drain_once(stop_seen=True)
+            return
+        self._items.put(_STOP)
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        while True:
+            item = self._items.get()
+            if self._drain_once(stop_seen=item is _STOP, first=item):
+                return
+
+    def _drain_once(self, stop_seen: bool, first: Optional[object] = None) -> bool:
+        """Submit everything queued right now, serve it, deliver results."""
+        batch: List[Tuple[Request, Callable[[dict], None]]] = []
+        if first is not None and first is not _STOP:
+            batch.append(first)  # type: ignore[arg-type]
+        while True:
+            try:
+                item = self._items.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                stop_seen = True
+            else:
+                batch.append(item)
+        for request, deliver in batch:
+            submitted = self.scheduler.submit(request)
+            self._assign_key(submitted)
+            self._deliveries[submitted.request_id] = deliver
+        if batch or self.scheduler.pending_count:
+            try:
+                self.scheduler.run()
+            except Exception as error:  # pragma: no cover - defensive
+                # A scheduler bug must not wedge every waiting client: fail
+                # health and unblock the batch with synthetic dead letters
+                # (not journaled — the journal only records real outcomes).
+                self.health.fail(f"scheduler run failed: {type(error).__name__}: {error}")
+                for request_id, deliver in list(self._deliveries.items()):
+                    key = self._request_keys.get(request_id, ("?", 0))
+                    self._finish(request_id)
+                    deliver(
+                        {
+                            "request_id": request_id,
+                            "user_id": key[0],
+                            "kind": "error",
+                            "dead_letter": True,
+                            "error": type(error).__name__,
+                            "reason": str(error),
+                        }
+                    )
+        return stop_seen
+
+    def _finish(self, request_id: int) -> None:
+        deliver = self._deliveries.pop(request_id, None)
+        if deliver is not None:
+            key = self._request_keys.get(request_id)
+            user = key[0] if key is not None else None
+            with self._lock:
+                self._inflight_total -= 1
+                if user is not None and user in self._inflight:
+                    self._inflight[user] -= 1
+
+    def _on_entry(self, entry: dict) -> None:
+        """Scheduler callback (worker thread): release the slot, deliver."""
+        request_id = entry.get("request_id")
+        deliver = self._deliveries.get(request_id)
+        self._finish(request_id)
+        if deliver is not None:
+            deliver(entry)
+
+    # -- the digest ---------------------------------------------------- #
+    def normalized_entries(self) -> List[dict]:
+        """Every transcript entry under its ``(user, seq)`` key (see module docs)."""
+        normalized = []
+        for entry in self.scheduler.transcript:
+            key = self._request_keys.get(entry.get("request_id"))
+            seq = key[1] if key is not None else int(entry.get("request_id", 0))
+            normalized.append(normalize_entry(entry, seq))
+        return normalized
+
+    def transcript_digest(self) -> str:
+        return frontend_transcript_digest(self.normalized_entries())
+
+
+# ---------------------------------------------------------------------- #
+# per-connection protocol handling
+# ---------------------------------------------------------------------- #
+_CLOSE = object()
+
+
+class _Connection:
+    """One client connection: a reader loop plus a serialized writer task.
+
+    All frames leave through one outbox queue consumed by a single writer
+    coroutine, so token streams never interleave with other frames and a
+    slow client (whose ``drain()`` blocks) stalls only its own writer — the
+    bridge keeps serving everyone else.
+    """
+
+    def __init__(self, frontend: "ServeFrontend", reader, writer) -> None:
+        self.frontend = frontend
+        self.reader = reader
+        self.writer = writer
+        self.user_id: Optional[str] = None
+        self.outbox: "asyncio.Queue" = asyncio.Queue()
+        self.closed = False
+        self._writer_task: Optional[asyncio.Task] = None
+
+    # -- outbox -------------------------------------------------------- #
+    def send_frame(self, frame: dict) -> None:
+        if not self.closed:
+            self.outbox.put_nowait(("frame", frame))
+
+    def send_result(self, client_id: object, entry: dict) -> None:
+        if not self.closed:
+            self.outbox.put_nowait(("result", client_id, entry))
+
+    def shutdown(self) -> None:
+        """Close after flushing everything already queued."""
+        if not self.closed:
+            self.closed = True
+            self.outbox.put_nowait(_CLOSE)
+
+    # -- the two coroutines -------------------------------------------- #
+    async def handle(self) -> None:
+        self._writer_task = asyncio.ensure_future(self._write_loop())
+        try:
+            while True:
+                try:
+                    line = await self.reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError:
+                    # EOF mid-line: a torn final frame, exactly like the
+                    # journal's torn tail — ignore it and close quietly.
+                    break
+                except asyncio.LimitOverrunError:
+                    self.send_frame(
+                        _error_frame(None, ERR_OVERSIZED, "frame exceeds the 1 MiB limit")
+                    )
+                    break
+                except (ConnectionResetError, OSError):
+                    break
+                try:
+                    op = decode_frame(line)
+                except ProtocolError as error:
+                    # Framing is intact (the newline was found), so protocol
+                    # errors are recoverable: report and keep reading.
+                    self.send_frame(_error_frame(None, error.code, error.reason))
+                    continue
+                if await self._dispatch(op):
+                    break
+        finally:
+            self.shutdown()
+            if self._writer_task is not None:
+                try:
+                    await self._writer_task
+                except asyncio.CancelledError:  # pragma: no cover - teardown
+                    pass
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                item = await self.outbox.get()
+                if item is _CLOSE:
+                    break
+                if item[0] == "frame":
+                    self.writer.write(encode_frame(item[1]))
+                    await self.writer.drain()
+                else:
+                    _, client_id, entry = item
+                    for frame in _result_frames(client_id, entry):
+                        self.writer.write(encode_frame(frame))
+                        await self.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # the client went away; results stay journaled server-side
+        finally:
+            self.closed = True
+            try:
+                self.writer.close()
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- dispatch ------------------------------------------------------ #
+    async def _dispatch(self, op: dict) -> bool:
+        """Handle one client op; returns True when the connection should end."""
+        kind = op.get("op")
+        client_id = op.get("id")
+        if kind == OP_CONNECT:
+            user = op.get("user_id")
+            try:
+                validate_user_id(user if isinstance(user, str) else "")
+            except (AdapterStoreError, ValueError, TypeError):
+                self.send_frame(
+                    _error_frame(client_id, ERR_BAD_PAYLOAD, f"invalid user_id {user!r}")
+                )
+                return False
+            self.user_id = user
+            self.send_frame(
+                {
+                    "frame": FRAME_HELLO,
+                    "id": client_id,
+                    "user_id": user,
+                    "server": SERVER_NAME,
+                    "protocol": PROTOCOL_VERSION,
+                }
+            )
+            return False
+        if kind in (OP_CHAT, OP_PERSONALIZE):
+            self._dispatch_request(kind, client_id, op)
+            return False
+        if kind == OP_STATS:
+            self.send_frame({"frame": FRAME_STATS, "id": client_id, **self.frontend.stats()})
+            return False
+        if kind == OP_HEALTH:
+            self.send_frame(
+                {"frame": FRAME_HEALTH, "id": client_id, **self.frontend.health_snapshot()}
+            )
+            return False
+        if kind == OP_BYE:
+            self.send_frame({"frame": FRAME_BYE, "id": client_id})
+            return True
+        if kind == OP_SHUTDOWN:
+            self.send_frame({"frame": FRAME_BYE, "id": client_id, "draining": True})
+            self.frontend.request_drain()
+            return True
+        self.send_frame(_error_frame(client_id, ERR_UNKNOWN_OP, f"unknown op {kind!r}"))
+        return False
+
+    def _dispatch_request(self, kind: str, client_id: object, op: dict) -> None:
+        """Admission + hand-off for the two serving ops."""
+        user = op.get("user_id") or self.user_id
+        if not isinstance(user, str) or not user:
+            self.send_frame(
+                _error_frame(
+                    client_id, ERR_BAD_PAYLOAD, f"{kind} needs a user (send connect first)"
+                )
+            )
+            return
+        try:
+            validate_user_id(user)
+            request = self._build_request(kind, user, op)
+        except ProtocolError as error:
+            self.send_frame(_error_frame(client_id, error.code, error.reason))
+            return
+        except (AdapterStoreError, ValueError, TypeError) as error:
+            self.send_frame(_error_frame(client_id, ERR_BAD_PAYLOAD, str(error)))
+            return
+        if self.frontend.draining:
+            self.send_frame({"frame": FRAME_BUSY, "id": client_id, "reason": BUSY_DRAINING})
+            return
+        reason = self.frontend.bridge.try_admit(user)
+        if reason is not None:
+            self.send_frame({"frame": FRAME_BUSY, "id": client_id, "reason": reason})
+            return
+        self.frontend.record_admitted(kind, user, op)
+        loop = asyncio.get_running_loop()
+
+        def deliver(entry: dict, conn: "_Connection" = self) -> None:
+            # Worker thread -> event loop; FIFO of call_soon_threadsafe
+            # guarantees every result lands in the outbox before the drain
+            # sequence (which runs after the worker joins) posts _CLOSE.
+            loop.call_soon_threadsafe(conn.send_result, client_id, entry)
+
+        self.frontend.bridge.enqueue(request, deliver)
+
+    def _build_request(self, kind: str, user: str, op: dict) -> Request:
+        if kind == OP_CHAT:
+            question = op.get("question")
+            if not isinstance(question, str):
+                raise ProtocolError(ERR_BAD_PAYLOAD, "chat needs a string 'question'")
+            return ChatRequest(user_id=user, question=question)
+        dialogues = op.get("dialogues")
+        if not isinstance(dialogues, list) or not dialogues:
+            raise ProtocolError(
+                ERR_BAD_PAYLOAD, "personalize needs a non-empty 'dialogues' list"
+            )
+        try:
+            decoded = tuple(DialogueSet.from_dict(item) for item in dialogues)
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ProtocolError(
+                ERR_BAD_PAYLOAD, f"undecodable dialogue set: {error}"
+            ) from None
+        return PersonalizeRequest(
+            user_id=user, dialogues=decoded, finetune=bool(op.get("finetune", True))
+        )
+
+
+def _error_frame(client_id: object, code: str, reason: str) -> dict:
+    return {"frame": FRAME_ERROR, "id": client_id, "error": code, "reason": reason}
+
+
+def _result_frames(client_id: object, entry: dict) -> List[dict]:
+    """The frame sequence one finished request sends back to its client."""
+    if entry.get("dead_letter"):
+        return [
+            {
+                "frame": FRAME_DEAD_LETTER,
+                "id": client_id,
+                "kind": entry.get("kind"),
+                "error": entry.get("error"),
+                "reason": entry.get("reason"),
+            }
+        ]
+    if entry.get("kind") == CHAT:
+        frames: List[dict] = [
+            {"frame": FRAME_TOKEN, "id": client_id, "index": index, "text": chunk}
+            for index, chunk in enumerate(stream_chunks(entry.get("response", "")))
+        ]
+        done = {
+            "frame": FRAME_DONE,
+            "id": client_id,
+            "kind": CHAT,
+            "response": entry.get("response", ""),
+        }
+        if entry.get("degraded"):
+            done["degraded"] = True
+        frames.append(done)
+        return frames
+    return [
+        {
+            "frame": FRAME_DONE,
+            "id": client_id,
+            "kind": PERSONALIZE,
+            "offered": entry.get("offered"),
+            "accepted": entry.get("accepted"),
+            "finetuned": entry.get("finetuned"),
+            "final_loss": entry.get("final_loss"),
+        }
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# the server
+# ---------------------------------------------------------------------- #
+@dataclass
+class FrontendOutcome:
+    """Everything one front-end run produced (the socket analogue of ServeOutcome)."""
+
+    host: str
+    port: int
+    total_requests: int
+    chat_requests: int
+    personalize_requests: int
+    dead_letter_requests: int
+    degraded_chat_requests: int
+    busy_rejections: int
+    num_users: int
+    elapsed_seconds: float
+    requests_per_sec: float
+    transcript_digest: str
+    journal_digest: Optional[str] = None
+    replayed_requests: int = 0
+    max_queue_depth_seen: int = 0
+    health: Dict[str, dict] = field(default_factory=dict)
+    transcript: List[dict] = field(default_factory=list)
+
+    @property
+    def all_dead_lettered(self) -> bool:
+        """True when the run served traffic but every request dead-lettered.
+
+        The socket-bridge half of the ``repro serve`` exit-code contract:
+        the CLI exits 3 on this, after the dead-letter frames have already
+        been flushed to their clients (the drain sequence guarantees it).
+        """
+        return self.total_requests > 0 and self.dead_letter_requests == self.total_requests
+
+    def to_dict(self) -> dict:
+        return {
+            "listen": f"{self.host}:{self.port}",
+            "total_requests": self.total_requests,
+            "chat_requests": self.chat_requests,
+            "personalize_requests": self.personalize_requests,
+            "dead_letter_requests": self.dead_letter_requests,
+            "degraded_chat_requests": self.degraded_chat_requests,
+            "busy_rejections": self.busy_rejections,
+            "num_users": self.num_users,
+            "elapsed_seconds": self.elapsed_seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "transcript_digest": self.transcript_digest,
+            "journal_digest": self.journal_digest,
+            "replayed_requests": self.replayed_requests,
+            "max_queue_depth_seen": self.max_queue_depth_seen,
+            "health": {name: dict(state) for name, state in self.health.items()},
+            "transcript": list(self.transcript),
+        }
+
+
+class ServeFrontend:
+    """The asyncio TCP server around one scheduler bridge.
+
+    Construction is cheap; :meth:`run` builds the serving environment (base
+    model, store, sessions, scheduler, optional journal), binds the socket
+    and serves until drained.  :class:`FrontendThread` wraps it for callers
+    that need the server in a background thread (tests, benchmarks,
+    ``repro replay``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scale: Optional[ExperimentScale] = None,
+        seed: int = 0,
+        dataset: str = "meddialog",
+        llm: Optional[OnDeviceLLM] = None,
+        lexicons: Optional[LexiconCollection] = None,
+        pretrain_epochs: Optional[int] = None,
+        cache_capacity: Optional[int] = 4,
+        max_batch_size: int = 8,
+        adapter_dir: Optional[Union[str, Path]] = None,
+        state_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_inflight_per_user: int = DEFAULT_MAX_INFLIGHT_PER_USER,
+        trace_path: Optional[Union[str, Path]] = None,
+        port_file: Optional[Union[str, Path]] = None,
+        install_signal_handlers: bool = False,
+        start_worker: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.dataset = dataset
+        self.scale = scale or get_scale("smoke", seed=seed)
+        self.llm = llm
+        self.lexicons = lexicons or builtin_lexicons()
+        self.pretrain_epochs = pretrain_epochs
+        self.cache_capacity = cache_capacity
+        self.max_batch_size = max_batch_size
+        self.adapter_dir = Path(adapter_dir) if adapter_dir is not None else None
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.resume = resume
+        self.fault_plan = fault_plan
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_user = max_inflight_per_user
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.port_file = Path(port_file) if port_file is not None else None
+        self.install_signal_handlers = install_signal_handlers
+        self.start_worker = start_worker
+
+        self.bridge: Optional[SchedulerBridge] = None
+        self.scheduler: Optional[RequestScheduler] = None
+        self.manager = None
+        self.journal: Optional[RequestJournal] = None
+        self.recorder = None
+        self.draining = False
+        self.replayed_requests = 0
+        self.started = threading.Event()
+        self.bound_port: Optional[int] = None
+        self.outcome: Optional[FrontendOutcome] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_event: Optional[asyncio.Event] = None
+        self._drain_requested_early = False
+        self._connections: set = set()
+        self._handler_tasks: set = set()
+
+    # -- environment construction -------------------------------------- #
+    def _build(self) -> None:
+        faults = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
+        if self.llm is None:
+            self.llm = build_serving_llm(
+                self.scale,
+                dataset=self.dataset,
+                seed=self.seed,
+                lexicons=self.lexicons,
+                pretrain_epochs=self.pretrain_epochs,
+            )
+        generation = serving_generation_config(self.llm, self.scale)
+
+        checkpoint_root = None
+        journal_path = None
+        next_request_id = 0
+        commit_seq = 0
+        past = None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            journal_path = self.state_dir / JOURNAL_FILE
+            checkpoint_root = self.state_dir / "sessions"
+            if self.adapter_dir is None:
+                self.adapter_dir = self.state_dir / "adapters"
+            if journal_path.exists() and not self.resume:
+                raise JournalError(
+                    f"journal already exists at {journal_path}; pass resume=True to replay it"
+                )
+        if self.adapter_dir is None:
+            self._temporary = tempfile.TemporaryDirectory(prefix="repro-frontend-adapters-")
+            self.adapter_dir = Path(self._temporary.name)
+        else:
+            self._temporary = None
+
+        store = LoRAAdapterStore(
+            self.adapter_dir, cache_capacity=self.cache_capacity, faults=faults
+        )
+        self.manager = make_session_manager(
+            self.llm,
+            store,
+            self.scale,
+            seed=self.seed,
+            lexicons=self.lexicons,
+            checkpoint_root=checkpoint_root,
+        )
+        if journal_path is not None:
+            past = replay(journal_path)
+            next_request_id = past.next_request_id
+            commit_seq = restore_shared_streams(checkpoint_root, self.llm)
+            self.journal = RequestJournal(journal_path)
+            if past.dropped_records:
+                self.journal.health.degrade(
+                    f"dropped {past.dropped_records} corrupt journal record(s) on replay"
+                )
+            if past.meta is None:
+                self.journal.record_meta(
+                    {"frontend": {"seed": self.seed, "dataset": self.dataset,
+                                  "scale": self.scale.name}}
+                )
+        self.scheduler = RequestScheduler(
+            self.manager,
+            max_batch_size=self.max_batch_size,
+            generation=generation,
+            journal=self.journal,
+            faults=faults,
+            retry=self.retry,
+            deadline_seconds=self.deadline_seconds,
+            commit_seq_start=commit_seq,
+            next_request_id_start=next_request_id,
+        )
+        self.bridge = SchedulerBridge(
+            self.scheduler,
+            max_queue_depth=self.max_queue_depth,
+            max_inflight_per_user=self.max_inflight_per_user,
+        )
+        if past is not None:
+            self._recover(past, store)
+
+    def _recover(self, past, store) -> None:
+        """The PR-6 replay path, before the socket opens.
+
+        Committed-but-unmarked fine-tunes roll forward without re-applying;
+        enqueued-but-unfinished requests re-serve to completion (their
+        clients are gone, but the journal — and therefore the journal
+        digest — still reaches the same final state as an uninterrupted
+        run).  Only then does the server start accepting new traffic.
+        """
+        replayed = roll_forward(past, store, self.manager, self.journal)
+        self.replayed_requests = len(replayed)
+        # Normalized keys for everything the journal has seen keep resumed
+        # and fresh traffic in one consistent per-user sequence space.
+        for request_id in sorted(past.enqueued):
+            request = past.enqueued[request_id]
+            if past.is_finished(request_id) or request_id in replayed:
+                self.bridge._assign_key(request)
+                continue
+            self.bridge.submit_local(request, journal_record=False)
+        if self.scheduler.pending_count:
+            self.scheduler.run()
+            self._flush_tolerantly()
+
+    def _flush_tolerantly(self) -> None:
+        try:
+            self.manager.flush()
+        except TransientServingError as error:
+            self.manager.store.health.degrade(f"adapter flush failed: {error}")
+
+    # -- recording ------------------------------------------------------ #
+    def record_admitted(self, kind: str, user: str, op: dict) -> None:
+        """Trace hook: every admitted request, in per-user admission order."""
+        if self.recorder is None:
+            return
+        if kind == OP_CHAT:
+            payload = {"question": op.get("question")}
+        else:
+            payload = {
+                "dialogues": op.get("dialogues"),
+                "finetune": bool(op.get("finetune", True)),
+            }
+        self.recorder.record_request(user, kind, payload)
+
+    # -- live introspection -------------------------------------------- #
+    def stats(self) -> dict:
+        """The ``stats`` frame body (advisory while traffic is in flight)."""
+        transcript = list(self.scheduler.transcript)
+        dead = sum(1 for entry in transcript if entry.get("dead_letter"))
+        return {
+            "served": {
+                "total": len(transcript),
+                "chat": sum(
+                    1
+                    for e in transcript
+                    if e.get("kind") == CHAT and not e.get("dead_letter")
+                ),
+                "personalize": sum(
+                    1
+                    for e in transcript
+                    if e.get("kind") == PERSONALIZE and not e.get("dead_letter")
+                ),
+                "dead_letter": dead,
+            },
+            "pending": self.scheduler.pending_count,
+            "inflight": self.bridge.inflight_total,
+            "busy_rejections": self.bridge.busy_rejections,
+            "queue_depths": self.scheduler.queue_depths(),
+            "draining": self.draining,
+            "transcript_digest": self.bridge.transcript_digest(),
+        }
+
+    def health_snapshot(self) -> dict:
+        components = [
+            self.bridge.health,
+            self.scheduler.health,
+            self.manager.health,
+            self.manager.store.health,
+        ]
+        if self.journal is not None:
+            components.append(self.journal.health)
+        return HealthRegistry.from_components(components).to_dict()
+
+    # -- drain ---------------------------------------------------------- #
+    def request_drain(self) -> None:
+        """Begin graceful shutdown; safe from any thread and from signals."""
+        self.draining = True
+        if self._loop is None or self._drain_event is None:
+            self._drain_requested_early = True
+            return
+
+        def _set() -> None:
+            self._drain_event.set()
+
+        try:
+            self._loop.call_soon_threadsafe(_set)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    # -- the run -------------------------------------------------------- #
+    def run(self) -> FrontendOutcome:
+        """Build, serve until drained, and report; blocks the calling thread."""
+        self._build()
+        if self.trace_path is not None:
+            from repro.serve.trace import TraceRecorder
+
+            self.recorder = TraceRecorder(
+                self.trace_path,
+                meta={
+                    "scale": self.scale.name,
+                    "seed": self.seed,
+                    "dataset": self.dataset,
+                    "pretrain_epochs": self.pretrain_epochs,
+                    "max_batch_size": self.max_batch_size,
+                },
+            )
+        start = time.perf_counter()
+        try:
+            asyncio.run(self._serve())
+        finally:
+            elapsed = time.perf_counter() - start
+            self._flush_tolerantly()
+            if self.journal is not None:
+                self.journal.close()
+        self.outcome = self._make_outcome(elapsed)
+        if self.recorder is not None:
+            self.recorder.record_summary(
+                digest=self.outcome.transcript_digest,
+                requests=self.outcome.total_requests,
+            )
+            self.recorder.close()
+        return self.outcome
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drain_event = asyncio.Event()
+        if self._drain_requested_early:
+            self._drain_event.set()
+        if self.start_worker:
+            self.bridge.start()
+        server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=MAX_FRAME_BYTES + 1024
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        if self.port_file is not None:
+            self.port_file.parent.mkdir(parents=True, exist_ok=True)
+            self.port_file.write_text(f"{self.bound_port}\n")
+        installed: List[int] = []
+        if self.install_signal_handlers:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(signum, self.request_drain)
+                    installed.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+        self.started.set()
+        try:
+            await self._drain_event.wait()
+            self.draining = True
+            server.close()
+            # The worker must start (even in start_worker=False test runs)
+            # so everything admitted before the drain still gets served.
+            self.bridge.start()
+            await self._loop.run_in_executor(None, self.bridge.stop)
+            # All deliveries were posted with call_soon_threadsafe *before*
+            # the executor completion that resumed us, and the loop runs its
+            # ready queue FIFO — every result frame is in its outbox now.
+            for connection in list(self._connections):
+                connection.shutdown()
+            if self._handler_tasks:
+                await asyncio.wait(list(self._handler_tasks), timeout=10.0)
+                for task in list(self._handler_tasks):
+                    if not task.done():  # pragma: no cover - hung client
+                        task.cancel()
+        finally:
+            for signum in installed:
+                try:
+                    self._loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass
+            server.close()
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - hung handler
+                pass
+
+    async def _handle(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handler_tasks.add(task)
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        try:
+            await connection.handle()
+        finally:
+            self._connections.discard(connection)
+            self._handler_tasks.discard(task)
+
+    # -- the outcome ---------------------------------------------------- #
+    def _make_outcome(self, elapsed: float) -> FrontendOutcome:
+        transcript = self.bridge.normalized_entries()
+        dead = len(self.scheduler.dead_letters)
+        chat = sum(
+            1 for e in transcript if e.get("kind") == CHAT and not e.get("dead_letter")
+        )
+        personalize = sum(
+            1
+            for e in transcript
+            if e.get("kind") == PERSONALIZE and not e.get("dead_letter")
+        )
+        total = len(transcript)
+        journal_path = None if self.state_dir is None else self.state_dir / JOURNAL_FILE
+        health = self.scheduler.health_report()
+        health[self.bridge.health.component] = self.bridge.health.to_dict()
+        ordered = sorted(transcript, key=lambda e: (e["user_id"], e["user_seq"]))
+        return FrontendOutcome(
+            host=self.host,
+            port=self.bound_port if self.bound_port is not None else self.port,
+            total_requests=total,
+            chat_requests=chat,
+            personalize_requests=personalize,
+            dead_letter_requests=dead,
+            degraded_chat_requests=self.scheduler.degraded_chats,
+            busy_rejections=self.bridge.busy_rejections,
+            num_users=len({e["user_id"] for e in transcript}),
+            elapsed_seconds=elapsed,
+            requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+            transcript_digest=frontend_transcript_digest(transcript),
+            journal_digest=None if journal_path is None else journal_digest(journal_path),
+            replayed_requests=self.replayed_requests,
+            max_queue_depth_seen=self.bridge.max_depth_seen,
+            health=health,
+            transcript=ordered,
+        )
+
+
+class FrontendThread:
+    """Run a :class:`ServeFrontend` in a background thread (tests, replay, bench)."""
+
+    def __init__(self, frontend: ServeFrontend) -> None:
+        self.frontend = frontend
+        self.error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-frontend", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self.frontend.run()
+        except BaseException as error:  # pragma: no cover - surfaced via .stop()
+            self.error = error
+            self.frontend.started.set()
+
+    def start(self, timeout: float = 120.0) -> Tuple[str, int]:
+        """Start serving; returns ``(host, port)`` once the socket is bound."""
+        self._thread.start()
+        if not self.frontend.started.wait(timeout):
+            raise TimeoutError("front-end server did not start in time")
+        if self.error is not None:
+            raise RuntimeError(f"front-end server failed to start: {self.error}")
+        return self.frontend.host, self.frontend.bound_port
+
+    def stop(self, timeout: float = 120.0) -> FrontendOutcome:
+        """Drain, join and return the outcome (raises the server's error, if any)."""
+        self.frontend.request_drain()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - hung server
+            raise TimeoutError("front-end server did not drain in time")
+        if self.error is not None:
+            raise self.error
+        return self.frontend.outcome
+
+
+def parse_listen(text: str) -> Tuple[str, int]:
+    """``HOST:PORT`` -> tuple (port 0 binds an ephemeral port)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--listen expects HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--listen expects a numeric port, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--listen port out of range: {port}")
+    return host, port
+
+
+def wait_for_port_file(path: Union[str, Path], timeout: float = 120.0) -> int:
+    """Poll a ``--port-file`` until the server writes its bound port."""
+    path = Path(path)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.is_file():
+            text = path.read_text().strip()
+            if text:
+                port = int(text)
+                # Wait until the socket actually accepts.
+                try:
+                    with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                        return port
+                except OSError:
+                    pass
+        time.sleep(0.05)
+    raise TimeoutError(f"no server port appeared in {path} within {timeout:.0f}s")

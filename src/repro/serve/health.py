@@ -23,7 +23,7 @@ the CLI surface.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 class HealthState(enum.Enum):
@@ -91,6 +91,19 @@ class HealthRegistry:
 
     def __init__(self) -> None:
         self._components: Dict[str, ComponentHealth] = {}
+
+    @classmethod
+    def from_components(cls, components: Iterable[ComponentHealth]) -> "HealthRegistry":
+        """A registry over an existing set of components (live references).
+
+        The network front-end uses this to answer ``health`` ops: one
+        registry aggregates the scheduler/session/store/journal/frontend
+        components into the overall state a load balancer would probe.
+        """
+        registry = cls()
+        for health in components:
+            registry.register(health)
+        return registry
 
     def register(self, health: ComponentHealth) -> ComponentHealth:
         self._components[health.component] = health

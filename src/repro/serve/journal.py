@@ -93,16 +93,23 @@ def decode_request(payload: dict) -> Request:
 # ---------------------------------------------------------------------- #
 # line encoding
 # ---------------------------------------------------------------------- #
-def _encode_line(record: dict) -> str:
+def encode_record_line(record: dict, magic: str = JOURNAL_MAGIC) -> str:
+    """One checksummed record line: ``<magic> <sha256[:16]> <canonical JSON>``.
+
+    The same discipline protects every durable line format in the serving
+    layer — the request journal (magic ``J1``) and the request-trace files
+    of :mod:`repro.serve.trace` (magic ``T1``): a torn or flipped line fails
+    its checksum instead of decoding into garbage.
+    """
     payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
     checksum = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-    return f"{JOURNAL_MAGIC} {checksum} {payload}\n"
+    return f"{magic} {checksum} {payload}\n"
 
 
-def _decode_line(line: str) -> Optional[dict]:
+def decode_record_line(line: str, magic: str = JOURNAL_MAGIC) -> Optional[dict]:
     """The record on one line, or None when the line fails validation."""
     parts = line.rstrip("\n").split(" ", 2)
-    if len(parts) != 3 or parts[0] != JOURNAL_MAGIC:
+    if len(parts) != 3 or parts[0] != magic:
         return None
     checksum, payload = parts[1], parts[2]
     if hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16] != checksum:
@@ -112,6 +119,11 @@ def _decode_line(line: str) -> Optional[dict]:
     except json.JSONDecodeError:
         return None
     return record if isinstance(record, dict) else None
+
+
+# Backwards-compatible private aliases (the tests of PR 6 exercise these).
+_encode_line = encode_record_line
+_decode_line = decode_record_line
 
 
 # ---------------------------------------------------------------------- #
@@ -132,6 +144,18 @@ class JournalReplay:
 
     def is_finished(self, request_id: int) -> bool:
         return request_id in self.completed or request_id in self.dead_lettered
+
+    @property
+    def next_request_id(self) -> int:
+        """The first id a resumed scheduler may assign to *new* requests.
+
+        One above every id the journal has ever seen (enqueued, completed or
+        dead-lettered), so requests arriving after a restart — e.g. over the
+        network front-end's socket bridge — can never collide with replayed
+        ones.
+        """
+        seen = [*self.enqueued, *self.completed, *self.dead_lettered]
+        return max(seen) + 1 if seen else 0
 
     @property
     def pending(self) -> List[Request]:

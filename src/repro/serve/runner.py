@@ -143,7 +143,7 @@ def adapter_state_from_model_section(model_section: dict) -> Dict[str, np.ndarra
     return adapter
 
 
-def _restore_shared_streams(checkpoint_root: Path, llm: OnDeviceLLM) -> int:
+def restore_shared_streams(checkpoint_root: Path, llm: OnDeviceLLM) -> int:
     """Restore shared RNG streams from the latest committed checkpoint.
 
     The generation and dropout RNG streams live in the shared model and
@@ -192,7 +192,7 @@ def _check_journal_meta(past: JournalReplay, load: LoadConfig) -> None:
         )
 
 
-def _roll_forward(
+def roll_forward(
     past: JournalReplay,
     store: LoRAAdapterStore,
     manager: SessionManager,
@@ -356,7 +356,7 @@ def run_serve(
             # is the in-process equivalent of a reboot — same weights, same
             # RNG streams as a freshly started server.
             runtime_snapshot = llm.export_runtime_state()
-        commit_seq = _restore_shared_streams(checkpoint_root, llm)
+        commit_seq = restore_shared_streams(checkpoint_root, llm)
         journal = RequestJournal(journal_path, fsync=fsync)
         scheduler = RequestScheduler(
             manager,
@@ -378,7 +378,7 @@ def run_serve(
                 )
             if past.meta is None:
                 journal.record_meta({"load": asdict(load), "scale": scale.name})
-            replayed = _roll_forward(past, store, manager, journal)
+            replayed = roll_forward(past, store, manager, journal)
             replayed_total += len(replayed)
             for request in generate_load(load, lexicons=lexicons):
                 request_id = request.request_id

@@ -51,7 +51,17 @@ import time
 import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -173,6 +183,7 @@ class RequestScheduler:
         retry: Optional[RetryPolicy] = None,
         deadline_seconds: Optional[float] = None,
         commit_seq_start: int = 0,
+        next_request_id_start: int = 0,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -199,8 +210,16 @@ class RequestScheduler:
         self._ring: List[str] = []  # users with pending work, in arrival order
         self._ring_members: set = set()
         self._cursor = 0
-        self._next_request_id = 0
+        # A resumed server starts id assignment above every journaled id so
+        # freshly arriving (socket) requests can never collide with replayed
+        # ones (see JournalReplay.next_request_id).
+        self._next_request_id = next_request_id_start
         self._stop_requested = False
+        #: Called with every transcript entry (chat, personalize, dead
+        #: letter) the moment it is produced — the delivery hook the network
+        #: front-end uses to stream results to waiting connections without
+        #: polling the transcript.  Must not raise.
+        self.entry_listener: Optional[Callable[[dict], None]] = None
         self.transcript: List[dict] = []
         self.turns: List[ServeTurn] = []
         self.dead_letters: List[dict] = []
@@ -254,6 +273,16 @@ class RequestScheduler:
     def pending_count(self) -> int:
         """Requests currently queued."""
         return sum(len(queue) for queue in self._queues.values())
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Queued requests per user (users with empty queues omitted)."""
+        return {user: len(queue) for user, queue in self._queues.items() if queue}
+
+    def _emit(self, entry: dict) -> None:
+        """Append one transcript entry and notify the delivery listener."""
+        self.transcript.append(entry)
+        if self.entry_listener is not None:
+            self.entry_listener(entry)
 
     def request_stop(self) -> None:
         """Ask :meth:`run` to stop at the next turn boundary (graceful drain).
@@ -432,9 +461,11 @@ class RequestScheduler:
             "reason": str(error),
         }
         self.dead_letters.append(entry)
-        self.transcript.append(entry)
         if self.journal is not None:
             self.journal.record_dead_letter(entry)
+        # Emit *after* journaling: once a listener (the socket front-end)
+        # forwards the dead-letter frame to a client, the failure is durable.
+        self._emit(entry)
         self.health.degrade(f"dead-lettered request {request.request_id} ({type(error).__name__})")
         return entry
 
@@ -511,9 +542,10 @@ class RequestScheduler:
             if degraded:
                 entry["degraded"] = True
             entries.append(entry)
-        self.transcript.extend(entries)
         if self.journal is not None:
             self.journal.record_complete(entries)
+        for entry in entries:
+            self._emit(entry)
         return swap_seconds
 
     def _serve_personalize_turn(self, user: str, request: PersonalizeRequest) -> float:
@@ -591,9 +623,9 @@ class RequestScheduler:
             # degrades the store instead of undoing an applied fine-tune.
             self.sessions.store.health.degrade(f"post-commit adapter flush failed: {error}")
         self.faults.crash_point("personalize.after_flush")
-        self.transcript.append(entry)
         if self.journal is not None:
             self.journal.record_complete([entry])
+        self._emit(entry)
         return swap_seconds
     # NOTE: sessions.personalize itself tolerates a transient write-back
     # failure (the user stays dirty and the next flush retries), so step 4

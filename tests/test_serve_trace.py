@@ -1,0 +1,235 @@
+"""Tests for request-trace record/replay and the front-end resume path.
+
+The headline guarantee: a trace recorded from a live socket run, replayed
+against a freshly booted server, reproduces the recorded run's normalized
+transcript digest byte for byte.  The satellite guarantees: damaged or
+unverifiable traces are refused (``repro replay`` exit 2), and a killed
+durable front-end resumes through the PR-6 journal replay path to the same
+transcript a crash-free run produces.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.presets import get_scale
+from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.client import drive_load, replay_trace_against
+from repro.serve.frontend import FrontendThread, ServeFrontend
+from repro.serve.journal import JOURNAL_FILE, RequestJournal, replay
+from repro.serve.loadgen import LoadConfig, build_serving_llm
+from repro.serve.runner import make_session_manager, serving_generation_config
+from repro.serve.scheduler import ChatRequest, RequestScheduler
+from repro.serve.trace import (
+    TRACE_MAGIC,
+    TraceError,
+    TraceRecorder,
+    load_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def frontend_env(lexicons):
+    """One shared serving LLM plus its pristine runtime snapshot.
+
+    Default pre-train budget: a 1-epoch model answers every chat with an
+    immediate EOS, which would make the digest comparisons trivial.
+    """
+    scale = get_scale("smoke", seed=0)
+    llm = build_serving_llm(scale, seed=0, lexicons=lexicons)
+    llm.add_lora()
+    return {
+        "scale": scale,
+        "llm": llm,
+        "snapshot": llm.export_runtime_state(),
+        "lexicons": lexicons,
+    }
+
+
+def pristine_llm(frontend_env):
+    frontend_env["llm"].load_runtime_state(frontend_env["snapshot"])
+    return frontend_env["llm"]
+
+
+def boot(frontend_env, **kwargs):
+    frontend = ServeFrontend(
+        host="127.0.0.1",
+        port=0,
+        scale=frontend_env["scale"],
+        seed=0,
+        llm=pristine_llm(frontend_env),
+        lexicons=frontend_env["lexicons"],
+        max_batch_size=4,
+        **kwargs,
+    )
+    server = FrontendThread(frontend)
+    host, port = server.start()
+    return server, host, port
+
+
+class TestTraceFormat:
+    def test_recorder_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, meta={"scale": "smoke", "seed": 7}) as recorder:
+            recorder.record_request("alice", "chat", {"question": "q0"})
+            recorder.record_request("bob", "chat", {"question": "r0"})
+            recorder.record_request("alice", "chat", {"question": "q1"})
+            recorder.record_summary(digest="abc123", requests=3)
+        trace = load_trace(path)
+        assert trace.meta["scale"] == "smoke"
+        assert trace.meta["seed"] == 7
+        assert trace.digest == "abc123"
+        assert trace.dropped_records == 0
+        assert not trace.torn_tail
+        by_user = trace.by_user()
+        assert [request.seq for request in by_user["alice"]] == [0, 1]
+        assert [request.payload["question"] for request in by_user["alice"]] == [
+            "q0",
+            "q1",
+        ]
+        assert [request.payload["question"] for request in by_user["bob"]] == ["r0"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, meta={"scale": "smoke"}) as recorder:
+            recorder.record_request("alice", "chat", {"question": "q0"})
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(f"{TRACE_MAGIC} deadbeefdeadbeef {{\"kind\": \"requ")
+        trace = load_trace(path)
+        assert trace.torn_tail
+        assert trace.dropped_records == 0
+        assert len(trace.requests) == 1
+
+    def test_corrupt_middle_record_is_counted(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, meta={"scale": "smoke"}) as recorder:
+            recorder.record_request("alice", "chat", {"question": "q0"})
+            recorder.record_request("alice", "chat", {"question": "q1"})
+            recorder.record_summary(digest="abc123", requests=2)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace('"question"', '"quesXion"', 1)  # checksum breaks
+        path.write_text("".join(lines))
+        trace = load_trace(path)
+        assert trace.dropped_records == 1
+        assert len(trace.requests) == 1
+
+    def test_missing_or_headerless_files_are_refused(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.jsonl")
+        not_a_trace = tmp_path / "journal.log"
+        not_a_trace.write_text("J1 0123456789abcdef {}\n")
+        with pytest.raises(TraceError):
+            load_trace(not_a_trace)
+
+
+class TestReplayCLIRefusals:
+    """``repro replay`` must exit 2 — not crash, not replay — on bad traces."""
+
+    def test_missing_trace_exits_2(self, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.jsonl"), "--quiet"]) == 2
+
+    def test_corrupt_trace_exits_2(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, meta={"scale": "smoke", "seed": 0}) as recorder:
+            recorder.record_request("alice", "chat", {"question": "q0"})
+            recorder.record_summary(digest="abc123", requests=1)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace('"question"', '"quesXion"', 1)
+        path.write_text("".join(lines))
+        assert main(["replay", str(path), "--quiet"]) == 2
+
+    def test_summaryless_trace_exits_2(self, tmp_path):
+        """A recorder killed before the run drained leaves no digest to
+        verify against; replay refuses rather than vacuously passing."""
+        path = tmp_path / "trace.jsonl"
+        with TraceRecorder(path, meta={"scale": "smoke", "seed": 0}) as recorder:
+            recorder.record_request("alice", "chat", {"question": "q0"})
+        assert main(["replay", str(path), "--quiet"]) == 2
+
+
+class TestRecordReplayDigest:
+    def test_recorded_and_replayed_runs_digest_identically(
+        self, frontend_env, tmp_path
+    ):
+        """Record a live socket run, then re-drive the trace against a fresh
+        boot from identical model state: the two normalized transcript
+        digests must be byte-identical."""
+        trace_path = tmp_path / "trace.jsonl"
+        load = LoadConfig(num_users=2, num_requests=8, personalize_every=4, seed=0)
+
+        server, host, port = boot(frontend_env, trace_path=trace_path)
+        outcomes = drive_load(host, port, load)
+        recorded = server.stop()
+        assert len(outcomes) == load.num_requests
+        assert recorded.dead_letter_requests == 0
+
+        trace = load_trace(trace_path)
+        assert trace.digest == recorded.transcript_digest
+        assert len(trace.requests) == load.num_requests
+        assert trace.summary["requests"] == recorded.total_requests
+        assert trace.dropped_records == 0
+
+        server, host, port = boot(frontend_env)
+        replay_outcomes = replay_trace_against(host, port, trace)
+        replayed = server.stop()
+        assert len(replay_outcomes) == load.num_requests
+        assert replayed.transcript_digest == trace.digest
+
+
+class TestFrontendResume:
+    def test_killed_server_resumes_to_the_crash_free_transcript(
+        self, frontend_env, tmp_path
+    ):
+        """A durable front-end killed with journaled-but-unserved requests
+        must, on ``resume=True``, re-serve them through the PR-6 replay path
+        before the socket opens — landing on the same normalized transcript
+        digest as a crash-free run of the same per-user workload."""
+        env = frontend_env
+
+        # Crash-free reference: a live server boot driven over the socket.
+        server, host, port = boot(env)
+        reference_outcomes = drive_load(
+            host, port, LoadConfig(num_users=1, num_requests=3, chat_only=True, seed=0)
+        )
+        reference = server.stop()
+        assert len(reference_outcomes) == 3
+        assert reference.dead_letter_requests == 0
+        # The reference transcript (sorted by per-user order) carries the
+        # exact question stream the crashed journal below must enqueue.
+        user_id = reference.transcript[0]["user_id"]
+        questions = [entry["question"] for entry in reference.transcript]
+
+        # "Crash": journal the same requests as enqueued, never serve them,
+        # and abandon the process state (the journal's crash contract).
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        llm = pristine_llm(env)
+        store = LoRAAdapterStore(state_dir / "adapters", cache_capacity=4)
+        manager = make_session_manager(
+            llm,
+            store,
+            env["scale"],
+            seed=0,
+            lexicons=env["lexicons"],
+            checkpoint_root=state_dir / "sessions",
+        )
+        journal = RequestJournal(state_dir / JOURNAL_FILE)
+        scheduler = RequestScheduler(
+            manager,
+            max_batch_size=4,
+            generation=serving_generation_config(llm, env["scale"]),
+            journal=journal,
+        )
+        for question in questions:
+            scheduler.submit(ChatRequest(user_id=user_id, question=question))
+        journal.close()
+        pending_before = replay(state_dir / JOURNAL_FILE)
+        assert len(pending_before.pending) == len(questions)
+
+        # Resume: the pending requests are re-served before the socket opens.
+        server, host, port = boot(env, state_dir=state_dir, resume=True)
+        resumed = server.stop()
+        assert resumed.total_requests == len(reference.transcript)
+        assert resumed.transcript_digest == reference.transcript_digest
+        # The journal now records everything as finished.
+        after = replay(state_dir / JOURNAL_FILE)
+        assert after.pending == []
