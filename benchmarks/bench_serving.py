@@ -17,15 +17,32 @@ the comparison isolates scheduling policy, not output quality.  Also
 measures adapter hot-swap latency with a cold store (adapter read from
 disk) and a warm cache (adapter already in memory).
 
+Two further sections cover the scale-out layer (``docs/scaling.md``):
+
+* ``sharding`` — the same 100-user chat-only load served through
+  ``run_serve_sharded`` at 1, 2 and 4 workers, recording aggregate
+  tokens/sec, p99 entry latency, and whether the aggregate transcript
+  digest stayed byte-identical across worker counts (it must — topology
+  is not allowed to change behaviour).  ``cpu_count`` is recorded so the
+  scaling gate in ``perf_check.py --sharding`` can skip the 4-worker
+  speedup requirement on machines without 4 cores.
+* ``adapter_format`` — per-load microseconds for the legacy pickle
+  format read cold from disk vs the ``A1`` binary format cold
+  (``mmap_cache_capacity=0``) and warm (record handles mmapped and
+  cached).  The binary format's promise is warm-mmap ≥2× faster than a
+  cold pickle load.
+
 Writes ``BENCH_serving.json`` next to this file (consumed by
-``scripts/perf_check.py --serving`` and ``--chaos-overhead``) and asserts
-the ≥2× batched-over-sequential speedup the serving layer is held to.
-Run directly (``python benchmarks/bench_serving.py``) or through pytest.
+``scripts/perf_check.py --serving``, ``--chaos-overhead`` and
+``--sharding``) and asserts the ≥2× batched-over-sequential speedup the
+serving layer is held to.  Run directly
+(``python benchmarks/bench_serving.py``) or through pytest.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict
@@ -37,6 +54,8 @@ from repro.serve import (
     RequestJournal,
     RequestScheduler,
     generate_load,
+    run_serve_sharded,
+    write_legacy_pickle_adapter,
 )
 from repro.serve.loadgen import build_serving_llm, user_ids
 from repro.serve.runner import make_session_manager, serving_generation_config
@@ -48,6 +67,17 @@ NUM_REQUESTS = 32
 BATCHED_MAX_BATCH = 8
 REPEATS = 3
 REQUIRED_SPEEDUP = 2.0
+
+# Scale-out section: 100 simulated users, chat-only so every worker count
+# serves the identical decode workload.
+SHARD_WORKER_COUNTS = (1, 2, 4)
+SHARD_NUM_USERS = 100
+SHARD_NUM_REQUESTS = 200
+# Gates enforced by ``perf_check.py --sharding`` (imported from here so the
+# bench and the gate cannot drift apart).
+REQUIRED_MMAP_SPEEDUP = 2.0
+REQUIRED_SHARD_SCALING = 1.8
+ADAPTER_BENCH_ROUNDS = 8
 
 
 def _serve_load(llm, scale, load, store_dir, max_batch_size, journal_path=None):
@@ -76,6 +106,114 @@ def _serve_load(llm, scale, load, store_dir, max_batch_size, journal_path=None):
     if journal is not None:
         journal.close()
     return {"seconds": elapsed, "report": report, "transcript": scheduler.transcript}
+
+
+def _p99(latencies) -> float:
+    """p99 in milliseconds from a list of per-entry seconds."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+    return 1e3 * ordered[index]
+
+
+def _shard_bench(llm, scale) -> Dict[str, object]:
+    """Serve the 100-user load at each worker count; digests must agree.
+
+    Aggregate tokens/sec counts the words of every chat response across
+    all shards — the fleet-level figure an operator scales for.  Process
+    workers only help when the machine has cores to put them on, so the
+    host ``cpu_count`` rides along for the gate to consult.
+    """
+    load = LoadConfig(
+        num_users=SHARD_NUM_USERS,
+        num_requests=SHARD_NUM_REQUESTS,
+        chat_only=True,
+        seed=0,
+    )
+    per_workers: Dict[str, dict] = {}
+    digests = []
+    mode = "process"
+    for workers in SHARD_WORKER_COUNTS:
+        outcome = run_serve_sharded(
+            load,
+            workers=workers,
+            scale=scale,
+            llm=llm.clone(),
+            max_batch_size=BATCHED_MAX_BATCH,
+        )
+        mode = outcome.mode
+        tokens = sum(
+            len(entry.get("response", "").split())
+            for entry in outcome.entries
+            if entry.get("kind") == "chat"
+        )
+        digests.append(outcome.aggregate_digest)
+        per_workers[str(workers)] = {
+            "tokens_per_sec": round(tokens / outcome.elapsed_seconds, 1),
+            "requests_per_sec": round(outcome.requests_per_sec, 2),
+            "p99_latency_ms": round(_p99(outcome.entry_latencies), 2),
+        }
+    first = str(SHARD_WORKER_COUNTS[0])
+    last = str(SHARD_WORKER_COUNTS[-1])
+    scaling = per_workers[last]["tokens_per_sec"] / per_workers[first]["tokens_per_sec"]
+    return {
+        "num_users": SHARD_NUM_USERS,
+        "num_requests": SHARD_NUM_REQUESTS,
+        "mode": mode,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": per_workers,
+        "digests_match": len(set(digests)) == 1,
+        "aggregate_digest": digests[0],
+        "scaling_at_max_workers": round(scaling, 2),
+    }
+
+
+def _adapter_format_bench(llm, scale, root: Path) -> Dict[str, object]:
+    """Per-load microseconds: legacy pickle vs A1 binary, cold and warm.
+
+    All three stores use ``cache_capacity=1`` with several users, so every
+    ``get`` misses the state LRU and exercises the on-disk format.  The
+    warm store additionally holds an mmap record handle per user — the
+    steady-state fast path of the binary format.
+    """
+    users = user_ids(NUM_USERS)
+    binary_dir = root / "fmt-binary"
+    seed_store = LoRAAdapterStore(binary_dir, cache_capacity=NUM_USERS)
+    seed_manager = make_session_manager(llm, seed_store, scale, seed=0)
+    for user in users:
+        seed_manager.attach(user)  # create + persist every adapter (A1)
+    seed_store.flush()
+    legacy_dir = root / "fmt-pickle"
+    legacy_dir.mkdir()
+    for user in users:
+        write_legacy_pickle_adapter(
+            legacy_dir, user, seed_store.get(user), round=seed_store.get_round(user)
+        )
+
+    def per_load_us(store: LoRAAdapterStore) -> float:
+        seconds = 0.0
+        for _ in range(ADAPTER_BENCH_ROUNDS):
+            for user in users:  # capacity 1 → every get misses the LRU
+                start = time.perf_counter()
+                store.get(user)
+                seconds += time.perf_counter() - start
+        return 1e6 * seconds / (ADAPTER_BENCH_ROUNDS * len(users))
+
+    pickle_cold = per_load_us(LoRAAdapterStore(legacy_dir, cache_capacity=1))
+    binary_cold = per_load_us(
+        LoRAAdapterStore(binary_dir, cache_capacity=1, mmap_cache_capacity=0)
+    )
+    warm_store = LoRAAdapterStore(binary_dir, cache_capacity=1, mmap_cache_capacity=NUM_USERS)
+    for user in users:
+        warm_store.get(user)  # fault the record handles into the mmap cache
+    warm_mmap = per_load_us(warm_store)
+    return {
+        "pickle_cold_us": round(pickle_cold, 1),
+        "binary_cold_us": round(binary_cold, 1),
+        "warm_mmap_us": round(warm_mmap, 1),
+        "mmap_speedup_over_pickle": round(pickle_cold / warm_mmap, 2),
+    }
 
 
 def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
@@ -146,6 +284,10 @@ def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
             for user in users:
                 warm_seconds.append(warm_manager.attach(user))
 
+        adapter_format = _adapter_format_bench(llm, scale, Path(root))
+
+    sharding = _shard_bench(llm, scale)
+
     speedup = best["batched"] / best["sequential"]
     # Fraction of batched throughput lost to journaling (can be slightly
     # negative from timing noise when the journal is effectively free).
@@ -172,6 +314,8 @@ def run_benchmark(repeats: int = REPEATS) -> Dict[str, object]:
             "cold": round(1e3 * sum(cold_seconds) / len(cold_seconds), 4),
             "warm": round(1e3 * sum(warm_seconds) / len(warm_seconds), 4),
         },
+        "adapter_format": adapter_format,
+        "sharding": sharding,
     }
     RESULT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
     return summary
@@ -189,7 +333,17 @@ def test_serving_throughput():
         f"adapter swap cold {summary['adapter_swap_ms']['cold']} ms / "
         f"warm {summary['adapter_swap_ms']['warm']} ms"
     )
+    fmt = summary["adapter_format"]
+    shard = summary["sharding"]
+    print(
+        f"[Serving] adapter format — pickle cold {fmt['pickle_cold_us']} us, "
+        f"binary cold {fmt['binary_cold_us']} us, warm mmap {fmt['warm_mmap_us']} us "
+        f"({fmt['mmap_speedup_over_pickle']}x over pickle); "
+        f"sharded digests match: {shard['digests_match']}"
+    )
     assert summary["batched_speedup"] >= REQUIRED_SPEEDUP
+    assert fmt["mmap_speedup_over_pickle"] >= REQUIRED_MMAP_SPEEDUP
+    assert shard["digests_match"], "aggregate digest changed with worker count"
 
 
 if __name__ == "__main__":

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Docs staleness gate: links must resolve, CLI examples must parse.
+
+Documentation rots in two characteristic ways: a relative link keeps
+pointing at a file (or heading) that was renamed away, and a fenced
+``repro ...`` example keeps showing a flag the CLI no longer accepts.
+Both are mechanical to detect, so CI does:
+
+* every markdown link in ``docs/*.md`` and ``README.md`` with a relative
+  target must resolve to an existing file, and its ``#anchor`` (if any)
+  must match a heading in the target document (GitHub slug rules);
+* every ``repro ...`` line inside a fenced code block must name a real
+  subcommand and use only flags that subcommand's argparse parser
+  actually defines.  Values are *not* parsed — examples legitimately
+  contain placeholders like ``--seed N`` — so this checks the option
+  surface, not the arity.
+
+Usage::
+
+    PYTHONPATH=src python scripts/docs_check.py [--quiet]
+
+Exit codes: 0 all good, 1 stale links or commands (each printed with
+``file:line``), 2 bad arguments (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def doc_files() -> List[Path]:
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:  # outside the repo (the checker's own test fixtures)
+        return str(path)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor id GitHub derives from a heading line.
+
+    Lowercase, markup/punctuation dropped, spaces become hyphens.  Inline
+    code spans keep their text (backticks drop like other punctuation).
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    slugs: Set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_links(path: Path, slug_cache: Dict[Path, Set[str]]) -> List[str]:
+    """``file:line: reason`` for every broken relative link in ``path``."""
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = path if not file_part else (path.parent / file_part).resolve()
+            where = f"{_display(path)}:{lineno}"
+            if file_part and not resolved.exists():
+                problems.append(f"{where}: broken link target {target!r}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                slugs = slug_cache.setdefault(resolved, heading_slugs(resolved))
+                if anchor not in slugs:
+                    problems.append(
+                        f"{where}: link {target!r} names a heading anchor "
+                        f"missing from {resolved.name}"
+                    )
+    return problems
+
+
+def cli_option_surface():
+    """(subcommand names, per-subcommand option strings, top-level options)."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    top_level: Set[str] = set()
+    subcommands: Dict[str, Set[str]] = {}
+    for action in parser._actions:
+        top_level.update(action.option_strings)
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                options: Set[str] = set()
+                for sub_action in subparser._actions:
+                    options.update(sub_action.option_strings)
+                subcommands[name] = options
+    return subcommands, top_level
+
+
+def repro_commands(path: Path) -> List[Tuple[int, str]]:
+    """``(lineno, command)`` for each fenced ``repro ...`` example.
+
+    Trailing-backslash continuations are joined onto one logical command;
+    ``#`` comments are stripped by the shell-style tokenizer later.
+    """
+    commands = []
+    in_fence = False
+    pending: Tuple[int, str] | None = None
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            pending = None
+            continue
+        if not in_fence:
+            continue
+        stripped = line.strip()
+        if pending is not None:
+            start, text = pending
+            joined = text + " " + stripped.rstrip("\\").strip()
+            pending = (start, joined) if stripped.endswith("\\") else None
+            if pending is None:
+                commands.append((start, joined))
+            continue
+        if stripped.startswith("repro "):
+            text = stripped.rstrip("\\").strip()
+            if stripped.endswith("\\"):
+                pending = (lineno, text)
+            else:
+                commands.append((lineno, text))
+    return commands
+
+
+def check_commands(path: Path, subcommands, top_level) -> List[str]:
+    problems = []
+    for lineno, command in repro_commands(path):
+        where = f"{_display(path)}:{lineno}"
+        try:
+            tokens = shlex.split(command, comments=True)
+        except ValueError as error:
+            problems.append(f"{where}: unparseable example {command!r} ({error})")
+            continue
+        positionals = [token for token in tokens[1:] if not token.startswith("-")]
+        if not positionals:
+            problems.append(f"{where}: example names no subcommand: {command!r}")
+            continue
+        subcommand = positionals[0]
+        if subcommand not in subcommands:
+            problems.append(f"{where}: unknown subcommand {subcommand!r} in {command!r}")
+            continue
+        known = subcommands[subcommand] | top_level
+        for token in tokens[1:]:
+            if token.startswith("--"):
+                flag = token.split("=", 1)[0]
+                if flag not in known:
+                    problems.append(
+                        f"{where}: `repro {subcommand}` does not accept {flag} "
+                        f"(in {command!r})"
+                    )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the failures, not the tally"
+    )
+    args = parser.parse_args()
+
+    subcommands, top_level = cli_option_surface()
+    slug_cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    checked_links = checked_commands = 0
+    for path in doc_files():
+        link_problems = check_links(path, slug_cache)
+        command_problems = check_commands(path, subcommands, top_level)
+        problems.extend(link_problems)
+        problems.extend(command_problems)
+        checked_links += len(LINK_RE.findall(path.read_text()))
+        checked_commands += len(repro_commands(path))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"FAIL: {len(problems)} stale doc reference(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(
+            f"PASS: {len(doc_files())} documents, {checked_links} links, "
+            f"{checked_commands} repro examples"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

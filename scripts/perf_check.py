@@ -18,6 +18,14 @@ gated as well: request journaling (the crash-safety layer of
 ``docs/robustness.md``) must cost at most 10% of batched serving
 throughput.  Both serving flags share one benchmark run when combined.
 
+With ``--sharding`` the serving benchmark's scale-out sections are gated
+(sharing the run with ``--serving``/``--chaos-overhead``): the aggregate
+transcript digest must be byte-identical at every worker count and the
+warm-mmap A1 adapter load must stay ≥2x faster than a cold pickle load —
+both machine-independent, enforced always.  The ≥1.8x tokens/sec scaling
+at 4 workers is only enforced when the bench-recorded ``cpu_count`` is at
+least 4 (process workers cannot speed up a box with nothing to run on).
+
 With ``--training`` the training benchmark (``benchmarks/bench_training.py``)
 runs too.  The fused-kernel backend promises a >=2x LoRA fine-tune step over
 the pre-backend composition: enforced against the committed
@@ -41,8 +49,8 @@ Usage::
 
     PYTHONPATH=src python scripts/perf_check.py [--tolerance 0.2] [--update]
                                                 [--serving] [--chaos-overhead]
-                                                [--training] [--frontend]
-                                                [--ratio-only]
+                                                [--sharding] [--training]
+                                                [--frontend] [--ratio-only]
 
 ``--update`` rewrites the baseline from the current run (use after an
 intentional perf change, on the machine that produces the committed numbers).
@@ -210,6 +218,14 @@ def main() -> int:
              "(runs the serving benchmark; shares the run with --serving)",
     )
     parser.add_argument(
+        "--sharding", action="store_true",
+        help="also gate the scale-out sections of the serving benchmark: "
+             "digest parity across worker counts and the warm-mmap adapter "
+             "speedup always; the 4-worker scaling floor only on >=4-core "
+             "machines (runs the serving benchmark; shares the run with "
+             "--serving/--chaos-overhead)",
+    )
+    parser.add_argument(
         "--training", action="store_true",
         help="also run the training benchmark and enforce the "
              f">={REQUIRED_FINETUNE_SPEEDUP:.0f}x fused-over-legacy LoRA "
@@ -307,8 +323,14 @@ def main() -> int:
     if kv_speedup < 5.0:
         failures.append("kv_cached_speedup")
 
-    if args.serving or args.chaos_overhead:
-        from bench_serving import REQUIRED_SPEEDUP, run_benchmark as run_serving_benchmark
+    if args.serving or args.chaos_overhead or args.sharding:
+        from bench_serving import (
+            REQUIRED_MMAP_SPEEDUP,
+            REQUIRED_SHARD_SCALING,
+            REQUIRED_SPEEDUP,
+            SHARD_WORKER_COUNTS,
+            run_benchmark as run_serving_benchmark,
+        )
 
         serving = run_serving_benchmark()
         rates = serving["requests_per_sec"]
@@ -332,6 +354,47 @@ def main() -> int:
             )
             if overhead > MAX_JOURNAL_OVERHEAD:
                 failures.append("journal_overhead")
+        if args.sharding:
+            shard = serving["sharding"]
+            fmt = serving["adapter_format"]
+            per_workers = shard["workers"]
+            max_workers = str(max(SHARD_WORKER_COUNTS))
+            rates = ", ".join(
+                f"{count}w {per_workers[str(count)]['tokens_per_sec']} tok/s "
+                f"(p99 {per_workers[str(count)]['p99_latency_ms']} ms)"
+                for count in SHARD_WORKER_COUNTS
+            )
+            print(
+                f"sharding ({shard['num_users']} users, {shard['mode']} mode, "
+                f"{shard['cpu_count']} cpus): {rates}; digests match: "
+                f"{shard['digests_match']}"
+            )
+            # Structural, machine-independent, enforced always: topology must
+            # not change behaviour, and the binary format must earn its keep.
+            if not shard["digests_match"]:
+                failures.append("sharding_digest_parity")
+            mmap_speedup = float(fmt["mmap_speedup_over_pickle"])
+            print(
+                f"  adapter format: warm mmap {fmt['warm_mmap_us']} us vs pickle "
+                f"cold {fmt['pickle_cold_us']} us — {mmap_speedup:.2f}x "
+                f"(required >= {REQUIRED_MMAP_SPEEDUP:.1f}x)"
+            )
+            if mmap_speedup < REQUIRED_MMAP_SPEEDUP:
+                failures.append("adapter_mmap_speedup")
+            scaling = float(shard["scaling_at_max_workers"])
+            if int(shard["cpu_count"]) >= max(SHARD_WORKER_COUNTS):
+                status = "ok" if scaling >= REQUIRED_SHARD_SCALING else "REGRESSED"
+                print(
+                    f"  scaling at {max_workers} workers: {scaling:.2f}x "
+                    f"(required >= {REQUIRED_SHARD_SCALING:.1f}x) {status}"
+                )
+                if scaling < REQUIRED_SHARD_SCALING:
+                    failures.append("sharding_scaling")
+            else:
+                print(
+                    f"  ({max_workers}-worker scaling floor skipped: machine has "
+                    f"{shard['cpu_count']} cpus, measured {scaling:.2f}x)"
+                )
 
     if args.training:
         from bench_training import run_benchmark as run_training_benchmark

@@ -162,6 +162,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="adapters held in the in-memory LRU cache (default 4)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard users across N shared-nothing workers behind a "
+        "consistent-hash router (forked processes where available, threads "
+        "otherwise); the aggregate transcript digest is identical for any N "
+        "(default 1: the single-scheduler path)",
+    )
+    serve.add_argument(
         "--out",
         default=None,
         metavar="DIR",
@@ -279,6 +289,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSON comparison report here",
     )
     replay_cmd.add_argument("--quiet", action="store_true", help="suppress progress logging")
+
+    migrate = subparsers.add_parser(
+        "migrate-adapters",
+        help="convert legacy pickle adapter files to the A1 binary format",
+        description=(
+            "One-shot store migration: every *.adapter.pkl in DIR is decoded, "
+            "re-encoded as a checksummed A1 binary record (*.adapter.bin), "
+            "verified bit-identical against the pickle payload, and only then "
+            "replaces it.  Users that already have a binary record are "
+            "skipped; undecodable pickles are reported and left in place.  "
+            "Exits 0 when every adapter migrated (or was already migrated), "
+            "1 when any failed, 2 when DIR does not exist.  Sharded adapter "
+            "roots are migrated per shard: run once per shard-NN directory."
+        ),
+    )
+    migrate.add_argument("directory", help="adapter directory holding *.adapter.pkl files")
+    migrate.add_argument(
+        "--keep-pickles",
+        action="store_true",
+        help="leave the legacy pickle files in place next to the new binary "
+        "records (default: delete each pickle once its record verifies)",
+    )
     return parser
 
 
@@ -415,6 +447,7 @@ def _command_serve_frontend(args: argparse.Namespace) -> int:
         trace_path=args.trace_out,
         port_file=args.port_file,
         install_signal_handlers=True,
+        workers=args.workers,
     )
     outcome = frontend.run()
     print(f"== serve front-end (scale={scale.name}, seed={args.seed}) ==")
@@ -540,7 +573,30 @@ def _command_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _normalized_aggregate_digest(transcript) -> str:
+    """The sharded-run digest computed from a single-scheduler transcript.
+
+    Normalizes each entry to its per-user sequence number (request ids are
+    arrival-order noise) and composes per-user digests exactly as the shard
+    layer does, so ``--workers 1`` output is byte-comparable with any
+    ``--workers N`` run of the same load (see docs/scaling.md).
+    """
+    from repro.serve.frontend import normalize_entry
+    from repro.serve.shard import aggregate_transcript_digest
+
+    seqs: dict = {}
+    normalized = []
+    for entry in sorted(transcript, key=lambda record: record["request_id"]):
+        seq = seqs.get(entry["user_id"], 0)
+        seqs[entry["user_id"]] = seq + 1
+        normalized.append(normalize_entry(entry, seq))
+    return aggregate_transcript_digest(normalized)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     if not args.quiet:
         enable_console_logging()
     if args.listen is not None:
@@ -559,6 +615,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers > 1:
+        return _command_serve_sharded(args)
 
     import json
     import shutil
@@ -654,6 +712,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"{report.store['disk_writes']} disk writes)"
     )
     print(f"transcript digest: {report.transcript_digest}")
+    aggregate_digest = _normalized_aggregate_digest(outcome.transcript)
+    print(f"aggregate transcript digest: {aggregate_digest}")
     if report.retries or report.dead_letter_requests or report.degraded_chat_requests:
         print(
             f"robustness: {report.retries} retries, "
@@ -691,6 +751,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             "personalize_every": load.personalize_every,
         }
         payload["transcript"] = outcome.transcript
+        payload["aggregate_digest"] = aggregate_digest
         payload["journal_digest"] = outcome.journal_digest
         payload["restarts"] = outcome.restarts
         payload["replayed_requests"] = outcome.replayed_requests
@@ -708,6 +769,159 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_sharded(args: argparse.Namespace) -> int:
+    """The ``repro serve --workers N`` path: consistent-hash sharded serving."""
+    import json
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments.presets import get_scale
+    from repro.serve import LoadConfig
+    from repro.serve.errors import RetryPolicy
+    from repro.serve.faults import FaultPlan, chaos_plan
+    from repro.serve.shard import ShardPoolError, run_serve_sharded
+
+    scale = get_scale(args.scale, seed=args.seed)
+    load = LoadConfig(
+        num_users=args.users,
+        num_requests=args.requests,
+        dataset=args.dataset,
+        personalize_every=args.personalize_every,
+        seed=args.seed,
+    )
+    fault_plan = FaultPlan.from_env()
+    if fault_plan is None and args.chaos:
+        fault_plan = chaos_plan(args.seed, users=args.users)
+    durable = args.state_dir is not None or args.resume or fault_plan is not None
+
+    out_dir = args.out
+    if out_dir is None and not args.no_artifacts:
+        out_dir = f"runs/serve-{scale.name}-seed{args.seed}"
+    adapter_dir = None
+    out_path = None
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        adapter_dir = out_path / "adapters"
+        if adapter_dir.exists() and not args.resume:
+            shutil.rmtree(adapter_dir)
+
+    temporary_state = None
+    state_dir = Path(args.state_dir) if args.state_dir is not None else None
+    if durable and state_dir is None:
+        if out_path is not None:
+            state_dir = out_path / "state"
+        else:
+            temporary_state = tempfile.TemporaryDirectory(prefix="repro-serve-state-")
+            state_dir = Path(temporary_state.name) / "state"
+    if state_dir is not None and state_dir.exists() and not args.resume:
+        shutil.rmtree(state_dir)
+
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    try:
+        outcome = run_serve_sharded(
+            load,
+            workers=args.workers,
+            scale=scale,
+            adapter_dir=adapter_dir,
+            cache_capacity=args.cache_capacity,
+            max_batch_size=args.max_batch,
+            pretrain_epochs=args.pretrain_epochs,
+            state_dir=state_dir,
+            resume=args.resume,
+            fault_plan=fault_plan,
+            retry=retry,
+            deadline_seconds=args.deadline,
+        )
+    except ShardPoolError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if state_dir is not None and temporary_state is None:
+            print(
+                f"the shard journals under {state_dir} are intact; "
+                "rerun with --resume to recover",
+                file=sys.stderr,
+            )
+        return 1
+    finally:
+        if temporary_state is not None:
+            temporary_state.cleanup()
+    print(
+        f"== sharded multi-tenant serve (scale={scale.name}, seed={args.seed}, "
+        f"workers={outcome.num_workers}, mode={outcome.mode}) =="
+    )
+    print(
+        f"served {outcome.total_requests} requests for "
+        f"{len(outcome.user_digests)} users across {outcome.num_workers} shard(s)"
+    )
+    print(
+        f"throughput: {outcome.requests_per_sec:.2f} req/s "
+        f"({outcome.elapsed_seconds:.1f}s total)"
+    )
+    for summary in outcome.shard_summaries:
+        print(
+            f"  shard {summary['index']:02d}: {summary['served']} served "
+            f"for {len(summary['users'])} user(s)"
+        )
+    print(f"aggregate transcript digest: {outcome.aggregate_digest}")
+    if outcome.dead_letter_requests or outcome.degraded_chat_requests:
+        print(
+            f"robustness: {outcome.degraded_chat_requests} degraded chats, "
+            f"{outcome.dead_letter_requests} dead-lettered"
+        )
+    if outcome.restarts:
+        print(f"crash recovery: {outcome.restarts} in-shard restart(s)")
+    if outcome.replayed_requests:
+        print(f"crash recovery: {outcome.replayed_requests} fine-tune(s) rolled forward")
+    if out_dir is not None:
+        result_path = out_path / "serve_result.json"
+        payload = outcome.to_dict()
+        payload["scale"] = scale.name
+        payload["seed"] = args.seed
+        payload["load"] = {
+            "num_users": load.num_users,
+            "num_requests": load.num_requests,
+            "dataset": load.dataset,
+            "personalize_every": load.personalize_every,
+        }
+        # The single-scheduler result key, so digest-comparing tooling can
+        # read either shape without caring about --workers.
+        payload["transcript_digest"] = outcome.aggregate_digest
+        result_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"result: {result_path}")
+        print(f"adapters: {adapter_dir}")
+    if outcome.all_dead_lettered:
+        print(
+            "error: every request dead-lettered — the serving layer made no "
+            "progress (check the shard summaries above)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _command_migrate_adapters(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serve.adapter_store import migrate_adapter_directory
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    report = migrate_adapter_directory(directory, keep_pickles=args.keep_pickles)
+    print(f"== adapter migration ({directory}) ==")
+    print(
+        f"migrated {len(report.migrated)}, skipped {len(report.skipped)} "
+        f"(already binary), failed {len(report.failed)}"
+    )
+    for user_id in report.migrated:
+        print(f"  migrated: {user_id}")
+    for user_id, reason in report.failed:
+        print(f"  FAILED {user_id}: {reason}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro``, ``python -m repro`` and the tests."""
     parser = build_parser()
@@ -720,6 +934,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "replay":
         return _command_replay(args)
+    if args.command == "migrate-adapters":
+        return _command_migrate_adapters(args)
     parser.print_help()
     return 0
 

@@ -13,6 +13,7 @@ layers above can be written naturally.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
 
@@ -29,20 +30,27 @@ _GELU_C = float(np.sqrt(2.0 / np.pi))
 # (the graph is freed as the sweep walks it unless retain_graph=True).
 _CONSUMED = object()
 
-# Global autograd switch.  When False (inside ``inference_mode()``) no
+# Per-thread autograd switch.  When False (inside ``inference_mode()``) no
 # operation records a backward closure or parent tuple, so forward passes
 # allocate no tape at all — the fast path used by generation and evaluation.
-_GRAD_ENABLED = True
+# Thread-local because serving runs schedulers on worker threads (the socket
+# front-end's bridge, thread-mode shard workers): one worker decoding inside
+# ``inference_mode()`` must not switch off a neighbour's training tape.
+class _GradState(threading.local):
+    enabled = True
+
+
+_GRAD_STATE = _GradState()
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record the autodiff graph."""
-    return _GRAD_ENABLED
+    """Whether operations currently record the autodiff graph (this thread)."""
+    return _GRAD_STATE.enabled
 
 
 @contextmanager
 def inference_mode() -> Iterator[None]:
-    """Context manager disabling all graph recording.
+    """Context manager disabling all graph recording (current thread only).
 
     Inside the context every op produces plain ``requires_grad=False`` tensors
     with no parents and no backward closure, regardless of the inputs'
@@ -51,13 +59,12 @@ def inference_mode() -> Iterator[None]:
     mode — only the tape (and its memory / closure overhead) is skipped.
     Nesting is supported; the previous state is restored on exit.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _GRAD_STATE.enabled
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _as_array(value: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
@@ -163,7 +170,7 @@ class Tensor:
         Inside :func:`inference_mode` nothing is ever wired: the result is a
         plain constant tensor and the backward closure is dropped.
         """
-        requires = _GRAD_ENABLED and any(parent.requires_grad for parent in parents)
+        requires = _GRAD_STATE.enabled and any(parent.requires_grad for parent in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
@@ -405,7 +412,7 @@ class Tensor:
         """GELU with the tanh approximation used by GPT-style models."""
         backend = _backend_active()
         data, residuals = backend.gelu(self.data)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_STATE.enabled and self.requires_grad):
             return Tensor(data)
         vjp = backend.VJPS["gelu"]
 

@@ -22,14 +22,32 @@ subsystem splits into four parts —
   speaking a newline-delimited JSON protocol with token streaming and
   backpressure, the matching socket client / load driver, and request-trace
   record/replay for deterministic regression testing over real sockets
-  (see ``docs/serving.md``).
+  (see ``docs/serving.md``);
+* :mod:`repro.serve.shard` / :mod:`repro.serve.adapter_codec` — the
+  scale-out layer: consistent-hash routing over shared-nothing shard
+  workers (``repro serve --workers N``) with a composable per-user
+  transcript digest, and the checksummed ``A1`` binary adapter record
+  format with zero-copy mmap loading (see ``docs/scaling.md``).
 """
 
+from repro.serve.adapter_codec import (
+    ADAPTER_BINARY_VERSION,
+    ADAPTER_MAGIC,
+    AdapterFormatError,
+    AdapterRecord,
+    open_adapter_record,
+    pack_adapter_record,
+    read_adapter_record,
+    unpack_adapter_record,
+)
 from repro.serve.adapter_store import (
+    AdapterMigrationReport,
     AdapterStoreError,
     LoRAAdapterStore,
     StoreStats,
+    migrate_adapter_directory,
     validate_user_id,
+    write_legacy_pickle_adapter,
 )
 from repro.serve.errors import (
     DeadlineExceededError,
@@ -57,6 +75,7 @@ from repro.serve.frontend import (
     ProtocolError,
     SchedulerBridge,
     ServeFrontend,
+    ShardedBridge,
     decode_frame,
     encode_frame,
     frontend_transcript_digest,
@@ -72,6 +91,17 @@ from repro.serve.journal import (
 )
 from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load, user_ids
 from repro.serve.runner import ServeOutcome, make_session_manager, run_serve
+from repro.serve.shard import (
+    ShardPool,
+    ShardPoolError,
+    ShardRing,
+    ShardedServeOutcome,
+    aggregate_transcript_digest,
+    compose_user_digests,
+    run_serve_sharded,
+    shard_state_dir,
+    user_transcript_digest,
+)
 from repro.serve.scheduler import (
     ChatRequest,
     PersonalizeRequest,
@@ -90,6 +120,11 @@ from repro.serve.session import (
 from repro.serve.trace import Trace, TraceError, TraceRecorder, load_trace
 
 __all__ = [
+    "ADAPTER_BINARY_VERSION",
+    "ADAPTER_MAGIC",
+    "AdapterFormatError",
+    "AdapterMigrationReport",
+    "AdapterRecord",
     "AdapterStoreError",
     "CRASH_POINTS",
     "ChatRequest",
@@ -126,14 +161,21 @@ __all__ = [
     "ServeTurn",
     "ServingError",
     "SessionManager",
+    "ShardPool",
+    "ShardPoolError",
+    "ShardRing",
+    "ShardedBridge",
+    "ShardedServeOutcome",
     "StoreIOError",
     "StoreStats",
     "Trace",
     "TraceError",
     "TraceRecorder",
     "UserSession",
+    "aggregate_transcript_digest",
     "build_serving_llm",
     "chaos_plan",
+    "compose_user_digests",
     "decode_frame",
     "drive_load",
     "encode_frame",
@@ -143,11 +185,20 @@ __all__ = [
     "journal_digest",
     "load_trace",
     "make_session_manager",
+    "migrate_adapter_directory",
+    "open_adapter_record",
+    "pack_adapter_record",
+    "read_adapter_record",
     "replay",
     "replay_trace_against",
     "run_serve",
+    "run_serve_sharded",
     "serving_framework_config",
+    "shard_state_dir",
     "transcript_digest",
+    "unpack_adapter_record",
     "user_ids",
     "user_seed",
+    "user_transcript_digest",
+    "write_legacy_pickle_adapter",
 ]

@@ -1,0 +1,274 @@
+"""The ``A1`` binary adapter record format: versioned, CRC-checksummed, mmap-able.
+
+Pickled adapter payloads (the PR-3 store format) are convenient but opaque:
+no integrity check, no partial validation, and every load deserializes and
+copies the full payload.  This module replaces them with a structured binary
+record in the image-compiler idiom — fixed header, shape table, raw buffers —
+so a load can be validated field by field, damage can be localized (and the
+file quarantined with a precise reason), and the float buffers can be mapped
+read-only straight out of the page cache with zero copies.
+
+Byte layout (all integers little-endian)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       2     magic ``b"A1"``
+    2       1     format version (currently 1)
+    3       1     flags (reserved, 0)
+    4       2     u16   user id byte length U
+    6       2     u16   tensor count T
+    8       4     u32   fine-tune round fence
+    12      4     u32   table_nbytes (length of the shape-table region)
+    16      4     u32   CRC-32 of the shape-table region
+    20      4     u32   CRC-32 of the payload region
+    24      8     u64   payload_nbytes (length of the payload region)
+    32      ...   shape table: U bytes of user id, then T entries of
+                  [u16 key length, key bytes, u8 dtype code (0=float32),
+                   u8 ndim, ndim x u32 dims, u64 payload offset, u64 nbytes]
+    ...     ...   zero padding to the next 64-byte boundary
+    ...     ...   payload: raw little-endian float32 buffers, each starting
+                  on a 64-byte boundary relative to the payload start
+
+Packing is deterministic (tensors in dict order, zero-filled alignment gaps),
+so identical state dicts produce byte-identical records — the property the
+``repro migrate-adapters`` round-trip check and the store's bit-identical
+reload tests lean on.  :func:`open_adapter_record` maps the file and hands
+out read-only :mod:`numpy` views into the mapping; the views keep the mapping
+alive, and :class:`~repro.serve.adapter_store.LoRAAdapterStore` copies them
+at its ``get`` boundary, so callers never observe the page cache mutating.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+#: First bytes of every record; also the name of the format.
+ADAPTER_MAGIC = b"A1"
+
+#: Current format version (header byte 2).
+ADAPTER_BINARY_VERSION = 1
+
+#: Every buffer (and the payload region itself) starts on this alignment, so
+#: mapped views are cache-line aligned and SIMD-friendly.
+ADAPTER_ALIGNMENT = 64
+
+#: dtype codes appearing in the shape table.  Only float32 exists today; the
+#: table keeps a code byte so future formats can add dtypes without a new
+#: magic.
+_DTYPE_CODES = {0: np.dtype("<f4")}
+_FLOAT32_CODE = 0
+
+_HEADER = struct.Struct("<2sBBHHIIIIQ")
+
+#: Fixed header size in bytes (32).
+ADAPTER_HEADER_NBYTES = _HEADER.size
+
+
+class AdapterFormatError(ValueError):
+    """A byte string / file is not a usable ``A1`` adapter record.
+
+    ``reason`` is a short, stable phrase ("truncated header", "payload CRC
+    mismatch", ...) that the store records in its quarantine health event.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def _align(offset: int) -> int:
+    return (offset + ADAPTER_ALIGNMENT - 1) & ~(ADAPTER_ALIGNMENT - 1)
+
+
+def pack_adapter_record(user_id: str, state: Dict[str, np.ndarray], round: int = 0) -> bytes:
+    """Serialize an adapter state dict into one ``A1`` record.
+
+    Tensors are written in dict order as contiguous little-endian float32
+    buffers; the result is deterministic for a given ``(user_id, state,
+    round)`` triple.
+    """
+    user_bytes = user_id.encode("utf-8")
+    if len(user_bytes) > 0xFFFF:
+        raise AdapterFormatError(f"user id too long ({len(user_bytes)} bytes)")
+    if len(state) > 0xFFFF:
+        raise AdapterFormatError(f"too many tensors ({len(state)})")
+    table = bytearray(user_bytes)
+    buffers = []
+    offset = 0
+    for key, value in state.items():
+        array = np.ascontiguousarray(value, dtype="<f4")
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > 0xFFFF:
+            raise AdapterFormatError(f"tensor key too long: {key!r}")
+        table += struct.pack("<H", len(key_bytes)) + key_bytes
+        table += struct.pack("<BB", _FLOAT32_CODE, array.ndim)
+        table += struct.pack(f"<{array.ndim}I", *array.shape)
+        table += struct.pack("<QQ", offset, array.nbytes)
+        buffers.append((offset, array.tobytes()))
+        offset = _align(offset + array.nbytes)
+    payload_nbytes = (
+        max(start + len(data) for start, data in buffers) if buffers else 0
+    )
+    payload = bytearray(payload_nbytes)
+    for start, data in buffers:
+        payload[start : start + len(data)] = data
+    table_bytes = bytes(table)
+    payload_bytes = bytes(payload)
+    header = _HEADER.pack(
+        ADAPTER_MAGIC,
+        ADAPTER_BINARY_VERSION,
+        0,
+        len(user_bytes),
+        len(state),
+        int(round),
+        len(table_bytes),
+        zlib.crc32(table_bytes),
+        zlib.crc32(payload_bytes),
+        payload_nbytes,
+    )
+    padding = b"\0" * (_align(len(header) + len(table_bytes)) - len(header) - len(table_bytes))
+    return header + table_bytes + padding + payload_bytes
+
+
+@dataclass
+class AdapterRecord:
+    """One decoded ``A1`` record: metadata plus (possibly mapped) tensors.
+
+    ``state`` maps tensor keys to **read-only** float32 arrays.  For a
+    mapped record they are zero-copy views into the file's pages; each view
+    holds a reference to the mapping, so the record (and its arrays) stay
+    valid for as long as anyone keeps them.  Copy before mutating.
+    """
+
+    user_id: str
+    round: int
+    state: Dict[str, np.ndarray]
+    nbytes: int
+
+    def state_views(self) -> Dict[str, np.ndarray]:
+        """A fresh dict of the (shared, read-only) tensor views."""
+        return dict(self.state)
+
+
+def unpack_adapter_record(data: Union[bytes, bytearray, memoryview, mmap.mmap]) -> AdapterRecord:
+    """Decode an ``A1`` record, verifying structure and both CRCs.
+
+    Raises :class:`AdapterFormatError` with a precise reason for every
+    damage class: truncated header, bad magic, unsupported version,
+    truncated/corrupt shape table, shape-table/buffer length mismatches,
+    truncated payload and payload CRC mismatch.
+    """
+    view = memoryview(data)
+    if len(view) < ADAPTER_HEADER_NBYTES:
+        raise AdapterFormatError("truncated header")
+    (
+        magic,
+        version,
+        _flags,
+        user_len,
+        num_tensors,
+        round,
+        table_nbytes,
+        table_crc,
+        payload_crc,
+        payload_nbytes,
+    ) = _HEADER.unpack_from(view, 0)
+    if magic != ADAPTER_MAGIC:
+        raise AdapterFormatError(f"bad magic {bytes(magic)!r}")
+    if version != ADAPTER_BINARY_VERSION:
+        raise AdapterFormatError(
+            f"unsupported format version {version} (expected {ADAPTER_BINARY_VERSION})"
+        )
+    table_end = ADAPTER_HEADER_NBYTES + table_nbytes
+    if len(view) < table_end:
+        raise AdapterFormatError("truncated shape table")
+    table = bytes(view[ADAPTER_HEADER_NBYTES:table_end])
+    if zlib.crc32(table) != table_crc:
+        raise AdapterFormatError("shape table CRC mismatch")
+    payload_start = _align(table_end)
+    if len(view) < payload_start + payload_nbytes:
+        raise AdapterFormatError("truncated payload")
+    if zlib.crc32(view[payload_start : payload_start + payload_nbytes]) != payload_crc:
+        raise AdapterFormatError("payload CRC mismatch")
+
+    if user_len > len(table):
+        raise AdapterFormatError("truncated shape table")
+    user_id = table[:user_len].decode("utf-8", errors="replace")
+    position = user_len
+    state: Dict[str, np.ndarray] = {}
+    total_nbytes = 0
+    for _ in range(num_tensors):
+        try:
+            (key_len,) = struct.unpack_from("<H", table, position)
+            position += 2
+            key = table[position : position + key_len].decode("utf-8")
+            if len(table[position : position + key_len]) != key_len:
+                raise AdapterFormatError("truncated shape table")
+            position += key_len
+            dtype_code, ndim = struct.unpack_from("<BB", table, position)
+            position += 2
+            dims = struct.unpack_from(f"<{ndim}I", table, position)
+            position += 4 * ndim
+            buffer_offset, buffer_nbytes = struct.unpack_from("<QQ", table, position)
+            position += 16
+        except struct.error as error:
+            raise AdapterFormatError("truncated shape table") from error
+        dtype = _DTYPE_CODES.get(dtype_code)
+        if dtype is None:
+            raise AdapterFormatError(f"unknown dtype code {dtype_code}")
+        count = 1
+        for dim in dims:
+            count *= dim
+        if count * dtype.itemsize != buffer_nbytes:
+            raise AdapterFormatError(
+                f"shape table/buffer length mismatch for {key!r}: shape "
+                f"{tuple(dims)} needs {count * dtype.itemsize} bytes, table says {buffer_nbytes}"
+            )
+        if buffer_offset + buffer_nbytes > payload_nbytes:
+            raise AdapterFormatError(
+                f"shape table/buffer length mismatch for {key!r}: buffer ends past the payload"
+            )
+        array = np.frombuffer(
+            view, dtype=dtype, count=count, offset=payload_start + buffer_offset
+        ).reshape(dims)
+        array.flags.writeable = False
+        state[key] = array
+        total_nbytes += buffer_nbytes
+    return AdapterRecord(user_id=user_id, round=int(round), state=state, nbytes=total_nbytes)
+
+
+def open_adapter_record(path: Union[str, Path]) -> AdapterRecord:
+    """Map an ``A1`` file and decode it with full verification.
+
+    The returned record's arrays are zero-copy views into the mapping (the
+    mapping is kept alive by the views themselves); an empty file and every
+    damage class raise :class:`AdapterFormatError`.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as error:  # cannot mmap an empty file
+            raise AdapterFormatError("truncated header") from error
+    return unpack_adapter_record(mapped)
+
+
+def read_adapter_record(path: Union[str, Path]) -> AdapterRecord:
+    """Decode an ``A1`` file into heap-owned (writable) arrays — no mapping.
+
+    The materializing twin of :func:`open_adapter_record`, for callers that
+    want the data to outlive the file (e.g. the migration verifier).
+    """
+    data = Path(path).read_bytes()
+    record = unpack_adapter_record(data)
+    record.state = {
+        key: np.array(value, dtype=np.float32, copy=True) for key, value in record.state.items()
+    }
+    return record

@@ -10,10 +10,23 @@ cache in front so the hot users' adapters never touch the filesystem.
 Disk layout (one file per user, written atomically)::
 
     <directory>/
-        <user_id>.adapter.pkl     # {"format_version": 1, "user_id": ...,
-                                  #  "round": <finetune rounds applied>, "state": {...}}
-        <user_id>.adapter.pkl.corrupt   # quarantined unreadable file (kept for
-                                        # post-mortem; the user re-inits blank)
+        <user_id>.adapter.bin     # A1 binary record (header, shape table,
+                                  # CRC-checksummed raw float32 buffers; see
+                                  # repro.serve.adapter_codec)
+        <user_id>.adapter.pkl     # legacy pickle record, read-only fallback
+                                  # (migrate with `repro migrate-adapters`)
+        <user_id>.adapter.bin.corrupt   # quarantined unreadable file (kept
+                                        # for post-mortem; the user re-inits
+                                        # blank)
+
+Adapters are written in the ``A1`` binary format
+(:mod:`repro.serve.adapter_codec`): versioned header, CRC-32 over the shape
+table and the payload, and 64-byte-aligned raw float32 buffers that load
+zero-copy through ``mmap``.  A bounded handle cache keeps recently decoded
+mappings alive, so re-loading a recently-evicted adapter costs a dict copy
+instead of a deserialize — the "warm mmap load" measured in
+``BENCH_serving.json``.  Legacy pickle files from pre-A1 stores are still
+readable (and upgraded to binary on the next write).
 
 The cache budget is configurable both as an entry count and as a byte budget;
 eviction flushes dirty entries to disk first, so an evicted adapter reloaded
@@ -31,19 +44,30 @@ import re
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.checkpoint import atomic_pickle_dump
+from repro.core.checkpoint import atomic_bytes_dump, atomic_pickle_dump
 from repro.nn.lora import clone_lora_state, lora_state_nbytes
+from repro.serve.adapter_codec import (
+    AdapterFormatError,
+    AdapterRecord,
+    open_adapter_record,
+    pack_adapter_record,
+    read_adapter_record,
+)
 from repro.serve.errors import StoreIOError
 from repro.serve.faults import NO_FAULTS, FaultInjector
 from repro.serve.health import ComponentHealth
 
 ADAPTER_FORMAT_VERSION = 1
 
-ADAPTER_SUFFIX = ".adapter.pkl"
+#: Current on-disk adapter file suffix (A1 binary records).
+ADAPTER_SUFFIX = ".adapter.bin"
+
+#: Pre-A1 pickle adapter files: still readable, never written.
+LEGACY_ADAPTER_SUFFIX = ".adapter.pkl"
 
 #: User ids become file names; keep them to a safe, portable alphabet.
 _USER_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
@@ -76,6 +100,8 @@ class StoreStats:
     quarantined: int = 0
     io_errors: int = 0
     skipped_writes: int = 0
+    mmap_hits: int = 0
+    legacy_loads: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -95,6 +121,8 @@ class StoreStats:
             "quarantined": self.quarantined,
             "io_errors": self.io_errors,
             "skipped_writes": self.skipped_writes,
+            "mmap_hits": self.mmap_hits,
+            "legacy_loads": self.legacy_loads,
             "hit_rate": self.hit_rate,
         }
 
@@ -132,15 +160,21 @@ class LoRAAdapterStore:
         cache_capacity: Optional[int] = 4,
         cache_max_bytes: Optional[int] = None,
         faults: Optional[FaultInjector] = None,
+        mmap_cache_capacity: Optional[int] = 64,
     ) -> None:
         if cache_capacity is not None and cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1 or None, got {cache_capacity}")
         if cache_max_bytes is not None and cache_max_bytes < 1:
             raise ValueError(f"cache_max_bytes must be >= 1 or None, got {cache_max_bytes}")
+        if mmap_cache_capacity is not None and mmap_cache_capacity < 0:
+            raise ValueError(
+                f"mmap_cache_capacity must be >= 0 or None, got {mmap_cache_capacity}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.cache_capacity = cache_capacity
         self.cache_max_bytes = cache_max_bytes
+        self.mmap_cache_capacity = mmap_cache_capacity
         self.stats = StoreStats()
         self.faults = faults if faults is not None else NO_FAULTS
         self.health = ComponentHealth("adapter_store")
@@ -149,24 +183,40 @@ class LoRAAdapterStore:
         #: persistently; serving continues from cache and blank adapters.
         self.read_only = False
         self._cache: "OrderedDict[str, _CacheEntry]" = OrderedDict()
+        #: Decoded A1 mappings kept alive after the entry cache evicted their
+        #: state: a bounded LRU of file handles, not of RAM — the pages live
+        #: in the OS page cache.  A hit here is the "warm mmap load" path.
+        self._records: "OrderedDict[str, AdapterRecord]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # paths and inventory
     # ------------------------------------------------------------------ #
     def path_for(self, user_id: str) -> Path:
-        """The on-disk adapter file for ``user_id``."""
+        """The on-disk adapter file for ``user_id`` (A1 binary)."""
         return self.directory / f"{validate_user_id(user_id)}{ADAPTER_SUFFIX}"
 
+    def legacy_path_for(self, user_id: str) -> Path:
+        """The pre-A1 pickle adapter file for ``user_id`` (read-only fallback)."""
+        return self.directory / f"{validate_user_id(user_id)}{LEGACY_ADAPTER_SUFFIX}"
+
     def users(self) -> List[str]:
-        """Every known user (on disk or cached), sorted."""
+        """Every known user (on disk in either format, or cached), sorted."""
         on_disk = {
             path.name[: -len(ADAPTER_SUFFIX)]
             for path in self.directory.glob(f"*{ADAPTER_SUFFIX}")
         }
+        on_disk |= {
+            path.name[: -len(LEGACY_ADAPTER_SUFFIX)]
+            for path in self.directory.glob(f"*{LEGACY_ADAPTER_SUFFIX}")
+        }
         return sorted(on_disk | set(self._cache))
 
     def __contains__(self, user_id: str) -> bool:
-        return user_id in self._cache or self.path_for(user_id).is_file()
+        return (
+            user_id in self._cache
+            or self.path_for(user_id).is_file()
+            or self.legacy_path_for(user_id).is_file()
+        )
 
     def __len__(self) -> int:
         return len(self.users())
@@ -248,10 +298,11 @@ class LoRAAdapterStore:
         """Forget a user entirely (cache and disk); returns whether one existed."""
         validate_user_id(user_id)
         existed = self._cache.pop(user_id, None) is not None
-        path = self.path_for(user_id)
-        if path.is_file():
-            path.unlink()
-            existed = True
+        self._records.pop(user_id, None)
+        for path in (self.path_for(user_id), self.legacy_path_for(user_id)):
+            if path.is_file():
+                path.unlink()
+                existed = True
         if existed:
             self.stats.deletes += 1
         return existed
@@ -273,9 +324,10 @@ class LoRAAdapterStore:
         return written
 
     def close(self) -> None:
-        """Flush every dirty entry and drop the in-memory cache."""
+        """Flush every dirty entry and drop the in-memory and mmap caches."""
         self.flush()
         self._cache.clear()
+        self._records.clear()
 
     def __enter__(self) -> "LoRAAdapterStore":
         return self
@@ -352,23 +404,74 @@ class LoRAAdapterStore:
             self.stats.skipped_writes += 1
             return
         self.faults.store_fault("write", user_id)
-        payload = {
-            "format_version": ADAPTER_FORMAT_VERSION,
-            "user_id": user_id,
-            "round": int(round),
-            "state": state,
-        }
         path = self.path_for(user_id)
         try:
-            atomic_pickle_dump(path, payload)
+            atomic_bytes_dump(path, pack_adapter_record(user_id, state, round=int(round)))
         except OSError as error:
             self.stats.io_errors += 1
             raise StoreIOError(f"writing adapter file {path}: {error}") from error
+        # The atomic replace left any live mapping pointing at the old inode;
+        # drop it so the next read maps the new bytes.  A superseded legacy
+        # pickle is removed too — otherwise a later quarantine of the binary
+        # file could resurrect the stale pickled state.
+        self._records.pop(user_id, None)
+        legacy = self.legacy_path_for(user_id)
+        if legacy.is_file():
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
         self.stats.disk_writes += 1
         self.faults.after_store_write(user_id, path)
 
-    def _read_from_disk(self, user_id: str) -> tuple:
+    def _cache_record(self, user_id: str, record: AdapterRecord) -> None:
+        if self.mmap_cache_capacity == 0:
+            return
+        self._records[user_id] = record
+        self._records.move_to_end(user_id)
+        if self.mmap_cache_capacity is not None:
+            while len(self._records) > self.mmap_cache_capacity:
+                self._records.popitem(last=False)
+
+    def _read_from_disk(self, user_id: str) -> Tuple[Dict[str, np.ndarray], int]:
+        record = self._records.get(user_id)
+        if record is not None:
+            # Warm mmap load: the file is already mapped and fully verified;
+            # handing out the read-only views costs a dict copy.
+            self._records.move_to_end(user_id)
+            self.stats.mmap_hits += 1
+            return record.state_views(), record.round
         path = self.path_for(user_id)
+        if path.is_file():
+            self.faults.store_fault("read", user_id)
+            try:
+                record = open_adapter_record(path)
+            except OSError as error:
+                self.stats.io_errors += 1
+                raise StoreIOError(f"reading adapter file {path}: {error}") from error
+            except AdapterFormatError as error:
+                # Corruption is not retryable: park the file and report the
+                # user as unknown, so the session layer re-initializes them
+                # blank instead of the whole serve run dying on one bad file.
+                self._quarantine(path, user_id, error.reason)
+                raise KeyError(
+                    f"no usable adapter for user {user_id!r}: {error.reason} "
+                    "(corrupt file quarantined)"
+                ) from error
+            if record.user_id != user_id:
+                self._quarantine(path, user_id, f"record belongs to {record.user_id!r}")
+                raise KeyError(
+                    f"no usable adapter for user {user_id!r}: record belongs to "
+                    f"{record.user_id!r} (quarantined)"
+                )
+            self.stats.disk_loads += 1
+            self._cache_record(user_id, record)
+            return record.state_views(), record.round
+        return self._read_legacy_pickle(user_id)
+
+    def _read_legacy_pickle(self, user_id: str) -> Tuple[Dict[str, np.ndarray], int]:
+        """Read a pre-A1 pickle adapter (the one-way compatibility path)."""
+        path = self.legacy_path_for(user_id)
         if not path.is_file():
             raise KeyError(f"no adapter stored for user {user_id!r} in {self.directory}")
         self.faults.store_fault("read", user_id)
@@ -379,9 +482,6 @@ class LoRAAdapterStore:
             self.stats.io_errors += 1
             raise StoreIOError(f"reading adapter file {path}: {error}") from error
         except (pickle.PickleError, EOFError, ImportError, IndexError, ValueError) as error:
-            # Corruption is not retryable: park the file and report the user
-            # as unknown, so the session layer re-initializes them blank
-            # instead of the whole serve run dying on one bad file.
             self._quarantine(path, user_id, str(error))
             raise KeyError(
                 f"no usable adapter for user {user_id!r}: corrupt file quarantined"
@@ -391,6 +491,7 @@ class LoRAAdapterStore:
             self._quarantine(path, user_id, problem)
             raise KeyError(f"no usable adapter for user {user_id!r}: {problem} (quarantined)")
         self.stats.disk_loads += 1
+        self.stats.legacy_loads += 1
         state = {
             key: np.asarray(value, dtype=np.float32) for key, value in payload["state"].items()
         }
@@ -405,3 +506,117 @@ class LoRAAdapterStore:
         if version != ADAPTER_FORMAT_VERSION:
             return f"format version {version!r} (expected {ADAPTER_FORMAT_VERSION})"
         return None
+
+
+# ---------------------------------------------------------------------- #
+# pickle -> A1 migration
+# ---------------------------------------------------------------------- #
+def write_legacy_pickle_adapter(
+    directory: Union[str, Path],
+    user_id: str,
+    state: Dict[str, np.ndarray],
+    round: int = 0,
+) -> Path:
+    """Write a pre-A1 pickle adapter file.
+
+    Production code never writes pickles any more; this exists so tests and
+    benchmarks can fabricate the legacy stores that
+    :func:`migrate_adapter_directory` and the fallback read path consume.
+    """
+    path = Path(directory) / f"{validate_user_id(user_id)}{LEGACY_ADAPTER_SUFFIX}"
+    atomic_pickle_dump(
+        path,
+        {
+            "format_version": ADAPTER_FORMAT_VERSION,
+            "user_id": user_id,
+            "round": int(round),
+            "state": clone_lora_state(state),
+        },
+    )
+    return path
+
+
+@dataclass
+class AdapterMigrationReport:
+    """What one :func:`migrate_adapter_directory` pass did."""
+
+    migrated: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    failed: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "migrated": list(self.migrated),
+            "skipped": list(self.skipped),
+            "failed": [list(item) for item in self.failed],
+            "ok": self.ok,
+        }
+
+
+def migrate_adapter_directory(
+    directory: Union[str, Path], keep_pickles: bool = False
+) -> AdapterMigrationReport:
+    """One-shot upgrade of every legacy pickle adapter in ``directory`` to A1.
+
+    Each ``*.adapter.pkl`` is decoded, re-packed as a binary record, written
+    atomically, read back through the binary decoder and compared
+    **bit-for-bit** (round fence and every tensor's raw bytes) before the
+    pickle is removed (kept with ``keep_pickles=True``).  A user that already
+    has a binary record is skipped; an unreadable or unverifiable pickle is
+    reported in ``failed`` and left in place for the operator.
+    """
+    directory = Path(directory)
+    report = AdapterMigrationReport()
+    for pickle_path in sorted(directory.glob(f"*{LEGACY_ADAPTER_SUFFIX}")):
+        user_id = pickle_path.name[: -len(LEGACY_ADAPTER_SUFFIX)]
+        binary_path = directory / f"{user_id}{ADAPTER_SUFFIX}"
+        if binary_path.is_file():
+            report.skipped.append(user_id)
+            continue
+        try:
+            with pickle_path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception as error:  # noqa: BLE001 - any unreadable pickle is a failure
+            report.failed.append((user_id, f"unreadable pickle: {error}"))
+            continue
+        problem = LoRAAdapterStore._payload_problem(payload)
+        if problem is not None:
+            report.failed.append((user_id, problem))
+            continue
+        state = {
+            key: np.asarray(value, dtype=np.float32) for key, value in payload["state"].items()
+        }
+        round = int(payload.get("round", 0))
+        atomic_bytes_dump(binary_path, pack_adapter_record(user_id, state, round=round))
+        reread = read_adapter_record(binary_path)
+        mismatch = _round_trip_mismatch(user_id, state, round, reread)
+        if mismatch is not None:
+            report.failed.append((user_id, mismatch))
+            binary_path.unlink()
+            continue
+        if not keep_pickles:
+            pickle_path.unlink()
+        report.migrated.append(user_id)
+    return report
+
+
+def _round_trip_mismatch(
+    user_id: str, state: Dict[str, np.ndarray], round: int, reread: AdapterRecord
+) -> Optional[str]:
+    """Why a migrated record is not bit-identical to its source (None if it is)."""
+    if reread.user_id != user_id:
+        return f"user id mismatch: {reread.user_id!r}"
+    if reread.round != round:
+        return f"round mismatch: {reread.round} != {round}"
+    if list(reread.state) != list(state):
+        return "tensor key mismatch"
+    for key, value in state.items():
+        if reread.state[key].shape != value.shape:
+            return f"shape mismatch for {key!r}"
+        if reread.state[key].tobytes() != np.ascontiguousarray(value, dtype="<f4").tobytes():
+            return f"byte mismatch for {key!r}"
+    return None

@@ -53,7 +53,7 @@ import socket
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -72,7 +72,7 @@ from repro.serve.journal import (
     journal_digest,
     replay,
 )
-from repro.serve.loadgen import build_serving_llm
+from repro.serve.loadgen import LoadConfig, build_serving_llm
 from repro.serve.runner import (
     make_session_manager,
     restore_shared_streams,
@@ -381,6 +381,147 @@ class SchedulerBridge:
             seq = key[1] if key is not None else int(entry.get("request_id", 0))
             normalized.append(normalize_entry(entry, seq))
         return normalized
+
+    def transcript_digest(self) -> str:
+        return frontend_transcript_digest(self.normalized_entries())
+
+
+class ShardedBridge:
+    """:class:`SchedulerBridge`'s sharded twin: admission in front of a
+    :class:`~repro.serve.shard.ShardPool`.
+
+    The event loop admits exactly as before (same queue-depth and per-user
+    bounds, same ``busy`` reasons); admitted requests get a globally unique
+    request id here and are routed to their consistent-hash shard, whose
+    worker serves them and streams normalized entries back through the
+    pool's ``on_entry`` hook.  Because each user's requests travel in
+    arrival order to a single shard, the per-user sequence numbers the
+    workers assign match what one scheduler would have assigned — the
+    transcript digest is byte-identical for any worker count.
+    """
+
+    def __init__(
+        self,
+        pool,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_inflight_per_user: int = DEFAULT_MAX_INFLIGHT_PER_USER,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
+        if max_inflight_per_user < 1:
+            raise ValueError(
+                f"max_inflight_per_user must be >= 1, got {max_inflight_per_user}"
+            )
+        self.pool = pool
+        pool.on_entry = self._on_entry
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_user = max_inflight_per_user
+        self.health = ComponentHealth("frontend")
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, int] = {}
+        self._inflight_total = 0
+        self._deliveries: Dict[int, Callable[[dict], None]] = {}
+        self._request_users: Dict[int, str] = {}
+        self._next_request_id = 0
+        self.busy_rejections = 0
+        self.max_depth_seen = 0
+        self.summaries: List[dict] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+    def start_pool(self, timeout: float = 300.0) -> List[dict]:
+        """Spawn the shards (replaying their journals, when durable).
+
+        Runs before the socket opens; replayed entries stream through
+        ``on_entry`` into the merged transcript with no delivery attached.
+        Live request ids start above every shard's journaled ids, so resumed
+        and fresh traffic share one id space per shard journal.
+        """
+        infos = self.pool.start(timeout=timeout)
+        self._next_request_id = max(
+            (info.get("next_request_id", 0) for info in infos), default=0
+        )
+        return infos
+
+    def start(self) -> None:
+        """The pool was started by :meth:`start_pool`; nothing to do here."""
+
+    def stop(self) -> None:
+        """Drain every shard, then release any stranded deliveries.
+
+        All entry messages precede a worker's ``done`` message on its pipe,
+        so every delivery is posted to the event loop before ``drain``
+        returns — the same flush guarantee the single-scheduler bridge
+        gives.  If a shard died, its clients get synthetic dead-letter
+        frames instead of hanging.
+        """
+        try:
+            self.summaries = self.pool.drain()
+        except Exception as error:  # pragma: no cover - defensive
+            self.health.fail(f"shard pool drain failed: {type(error).__name__}: {error}")
+        with self._lock:
+            stranded = list(self._deliveries.items())
+        for request_id, _ in stranded:
+            user = self._request_users.get(request_id, "?")
+            deliver = self._release(request_id)
+            if deliver is not None:  # pragma: no cover - dead-shard path
+                deliver(
+                    {
+                        "user_id": user,
+                        "kind": "error",
+                        "dead_letter": True,
+                        "error": "ShardPoolError",
+                        "reason": "shard worker died before serving this request",
+                    }
+                )
+
+    # -- admission (event-loop thread) ---------------------------------- #
+    def try_admit(self, user_id: str) -> Optional[str]:
+        """Reserve one in-flight slot; returns a ``busy`` reason or None."""
+        with self._lock:
+            if self._inflight_total >= self.max_queue_depth:
+                self.busy_rejections += 1
+                return BUSY_QUEUE_FULL
+            if self._inflight.get(user_id, 0) >= self.max_inflight_per_user:
+                self.busy_rejections += 1
+                return BUSY_USER_LIMIT
+            self._inflight_total += 1
+            self._inflight[user_id] = self._inflight.get(user_id, 0) + 1
+            self.max_depth_seen = max(self.max_depth_seen, self._inflight_total)
+            return None
+
+    def enqueue(self, request: Request, deliver: Callable[[dict], None]) -> None:
+        """Assign the global id and route one *admitted* request to its shard."""
+        with self._lock:
+            request = replace(request, request_id=self._next_request_id)
+            self._next_request_id += 1
+            self._deliveries[request.request_id] = deliver
+            self._request_users[request.request_id] = request.user_id
+        self.pool.submit(request)
+
+    @property
+    def inflight_total(self) -> int:
+        with self._lock:
+            return self._inflight_total
+
+    # -- results (pool listener threads) -------------------------------- #
+    def _release(self, request_id: int) -> Optional[Callable[[dict], None]]:
+        with self._lock:
+            deliver = self._deliveries.pop(request_id, None)
+            user = self._request_users.pop(request_id, None)
+            if deliver is not None:
+                self._inflight_total -= 1
+                if user is not None and user in self._inflight:
+                    self._inflight[user] -= 1
+            return deliver
+
+    def _on_entry(self, request_id: int, entry: dict) -> None:
+        deliver = self._release(request_id)
+        if deliver is not None:
+            deliver(entry)
+
+    # -- the digest ----------------------------------------------------- #
+    def normalized_entries(self) -> List[dict]:
+        return self.pool.normalized_entries()
 
     def transcript_digest(self) -> str:
         return frontend_transcript_digest(self.normalized_entries())
@@ -723,7 +864,11 @@ class ServeFrontend:
         port_file: Optional[Union[str, Path]] = None,
         install_signal_handlers: bool = False,
         start_worker: bool = True,
+        workers: int = 1,
+        shard_mode: Optional[str] = None,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.host = host
         self.port = port
         self.seed = seed
@@ -746,8 +891,10 @@ class ServeFrontend:
         self.port_file = Path(port_file) if port_file is not None else None
         self.install_signal_handlers = install_signal_handlers
         self.start_worker = start_worker
+        self.workers = workers
+        self.shard_mode = shard_mode
 
-        self.bridge: Optional[SchedulerBridge] = None
+        self.bridge: Optional[Union[SchedulerBridge, ShardedBridge]] = None
         self.scheduler: Optional[RequestScheduler] = None
         self.manager = None
         self.journal: Optional[RequestJournal] = None
@@ -765,6 +912,9 @@ class ServeFrontend:
 
     # -- environment construction -------------------------------------- #
     def _build(self) -> None:
+        if self.workers > 1:
+            self._build_sharded()
+            return
         faults = FaultInjector(self.fault_plan) if self.fault_plan is not None else None
         if self.llm is None:
             self.llm = build_serving_llm(
@@ -841,6 +991,64 @@ class ServeFrontend:
         if past is not None:
             self._recover(past, store)
 
+    def _build_sharded(self) -> None:
+        """The ``workers > 1`` environment: a shard pool behind the socket.
+
+        One base model is built (or passed in) once; the pool forks (or
+        deep-copies, in thread mode) it into shared-nothing shard workers,
+        each owning a private scheduler, session manager, adapter store and
+        — when durable — its own journal under ``state_dir/shard-NN``.
+        Per-shard journal replay happens inside ``start_pool`` before the
+        socket opens, exactly like the single-scheduler resume path.
+        """
+        from repro.serve.shard import ShardPool  # lazy: shard imports this module
+
+        if self.llm is None:
+            self.llm = build_serving_llm(
+                self.scale,
+                dataset=self.dataset,
+                seed=self.seed,
+                lexicons=self.lexicons,
+                pretrain_epochs=self.pretrain_epochs,
+            )
+        if self.state_dir is None and self.adapter_dir is None:
+            self._temporary = tempfile.TemporaryDirectory(prefix="repro-frontend-adapters-")
+            self.adapter_dir = Path(self._temporary.name)
+        else:
+            self._temporary = None
+        # The journal-meta fence needs *a* workload identity; socket traffic
+        # has none, so a stub derived from the server arguments stands in —
+        # a resume with a different seed or dataset is still refused.
+        load_stub = LoadConfig(
+            num_users=1, num_requests=1, dataset=self.dataset, seed=self.seed
+        )
+        pool = ShardPool(
+            self.workers,
+            llm=self.llm,
+            load=load_stub,
+            scale=self.scale,
+            cache_capacity=self.cache_capacity,
+            max_batch_size=self.max_batch_size,
+            retry=self.retry,
+            deadline_seconds=self.deadline_seconds,
+            fault_plan=self.fault_plan,
+            adapter_root=self.adapter_dir,
+            state_root=self.state_dir,
+            resume=self.resume,
+            mode=self.shard_mode,
+        )
+        bridge = ShardedBridge(
+            pool,
+            max_queue_depth=self.max_queue_depth,
+            max_inflight_per_user=self.max_inflight_per_user,
+        )
+        infos = bridge.start_pool()
+        self.replayed_requests = sum(info.get("replayed_entries", 0) for info in infos)
+        self.bridge = bridge
+        self.scheduler = None
+        self.manager = None
+        self.journal = None
+
     def _recover(self, past, store) -> None:
         """The PR-6 replay path, before the socket opens.
 
@@ -865,6 +1073,8 @@ class ServeFrontend:
             self._flush_tolerantly()
 
     def _flush_tolerantly(self) -> None:
+        if self.manager is None:  # sharded: each worker flushed its own store
+            return
         try:
             self.manager.flush()
         except TransientServingError as error:
@@ -887,6 +1097,8 @@ class ServeFrontend:
     # -- live introspection -------------------------------------------- #
     def stats(self) -> dict:
         """The ``stats`` frame body (advisory while traffic is in flight)."""
+        if self.scheduler is None:
+            return self._stats_sharded()
         transcript = list(self.scheduler.transcript)
         dead = sum(1 for entry in transcript if entry.get("dead_letter"))
         return {
@@ -912,7 +1124,40 @@ class ServeFrontend:
             "transcript_digest": self.bridge.transcript_digest(),
         }
 
+    def _stats_sharded(self) -> dict:
+        """Sharded ``stats``: queue depths live inside the workers, so the
+        pool-level view reports the merged transcript and bridge counters."""
+        transcript = self.bridge.normalized_entries()
+        dead = sum(1 for entry in transcript if entry.get("dead_letter"))
+        return {
+            "served": {
+                "total": len(transcript),
+                "chat": sum(
+                    1
+                    for e in transcript
+                    if e.get("kind") == CHAT and not e.get("dead_letter")
+                ),
+                "personalize": sum(
+                    1
+                    for e in transcript
+                    if e.get("kind") == PERSONALIZE and not e.get("dead_letter")
+                ),
+                "dead_letter": dead,
+            },
+            "pending": self.bridge.inflight_total,
+            "inflight": self.bridge.inflight_total,
+            "busy_rejections": self.bridge.busy_rejections,
+            "queue_depths": {},
+            "workers": self.workers,
+            "draining": self.draining,
+            "transcript_digest": self.bridge.transcript_digest(),
+        }
+
     def health_snapshot(self) -> dict:
+        if self.scheduler is None:
+            # Worker-side health arrives with the drain summaries; the live
+            # snapshot covers the component this process owns.
+            return HealthRegistry.from_components([self.bridge.health]).to_dict()
         components = [
             self.bridge.health,
             self.scheduler.health,
@@ -1039,6 +1284,8 @@ class ServeFrontend:
 
     # -- the outcome ---------------------------------------------------- #
     def _make_outcome(self, elapsed: float) -> FrontendOutcome:
+        if self.scheduler is None:
+            return self._make_outcome_sharded(elapsed)
         transcript = self.bridge.normalized_entries()
         dead = len(self.scheduler.dead_letters)
         chat = sum(
@@ -1068,6 +1315,58 @@ class ServeFrontend:
             requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
             transcript_digest=frontend_transcript_digest(transcript),
             journal_digest=None if journal_path is None else journal_digest(journal_path),
+            replayed_requests=self.replayed_requests,
+            max_queue_depth_seen=self.bridge.max_depth_seen,
+            health=health,
+            transcript=ordered,
+        )
+
+    def _make_outcome_sharded(self, elapsed: float) -> FrontendOutcome:
+        transcript = self.bridge.normalized_entries()
+        summaries = self.bridge.summaries
+        dead = (
+            sum(s["dead_letter_requests"] for s in summaries)
+            if summaries
+            else sum(1 for e in transcript if e.get("dead_letter"))
+        )
+        degraded = sum(s["degraded_chat_requests"] for s in summaries)
+        chat = sum(
+            1 for e in transcript if e.get("kind") == CHAT and not e.get("dead_letter")
+        )
+        personalize = sum(
+            1
+            for e in transcript
+            if e.get("kind") == PERSONALIZE and not e.get("dead_letter")
+        )
+        total = len(transcript)
+        # Per-shard journal digests compose the way the transcript digest
+        # does: one SHA-256 over the sorted ``shard:digest`` lines.
+        shard_digests = sorted(
+            (s["index"], s["journal_digest"]) for s in summaries
+        )
+        journal = None
+        if shard_digests and all(digest is not None for _, digest in shard_digests):
+            joined = "\n".join(f"{index}:{digest}" for index, digest in shard_digests)
+            journal = hashlib.sha256(joined.encode("utf-8")).hexdigest()
+        health = {self.bridge.health.component: self.bridge.health.to_dict()}
+        for summary in summaries:
+            for name, state in summary.get("health", {}).items():
+                health[f"shard{summary['index']:02d}.{name}"] = dict(state)
+        ordered = sorted(transcript, key=lambda e: (e["user_id"], e["user_seq"]))
+        return FrontendOutcome(
+            host=self.host,
+            port=self.bound_port if self.bound_port is not None else self.port,
+            total_requests=total,
+            chat_requests=chat,
+            personalize_requests=personalize,
+            dead_letter_requests=dead,
+            degraded_chat_requests=degraded,
+            busy_rejections=self.bridge.busy_rejections,
+            num_users=len({e["user_id"] for e in transcript}),
+            elapsed_seconds=elapsed,
+            requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+            transcript_digest=frontend_transcript_digest(transcript),
+            journal_digest=journal,
             replayed_requests=self.replayed_requests,
             max_queue_depth_seen=self.bridge.max_depth_seen,
             health=health,

@@ -1,0 +1,917 @@
+"""Sharded multi-worker serving: consistent-hash routing over shared-nothing workers.
+
+One process and one scheduler cannot reach the ROADMAP's millions-of-users
+target.  This module scales the serving stack *horizontally*: a
+:class:`ShardRing` maps every user id onto one of N shards by consistent
+hashing, and a :class:`ShardPool` runs one worker per shard — each owning a
+private :class:`~repro.serve.scheduler.RequestScheduler`,
+:class:`~repro.serve.session.SessionManager`, adapter store, and (when
+durable) request journal.  Workers share *nothing* mutable: in ``process``
+mode they are forked children that inherit the pre-built base model
+copy-on-write; in ``thread`` mode (the portable fallback) each worker gets a
+deep copy of the model.  Either way a user's entire history lives on exactly
+one shard, which is what keeps scale-out deterministic.
+
+Determinism composes.  Each worker emits *normalized* transcript entries
+(request ids — global arrival noise — replaced by the per-user sequence
+number, exactly as the PR-8 front-end does).  Per user, the entries are
+digested in ``user_seq`` order; per run, the per-user digests compose into
+one aggregate SHA-256 over the sorted ``user:digest`` lines:
+
+    aggregate = sha256( sorted("<user>:<sha256(user entries)>") )
+
+Because every user is served by one shard in submission order, and serving a
+user is independent of interleaved other-user work (greedy decode, per
+``(user, round)`` dropout reseeding, per-user framework seeds), the aggregate
+digest is byte-identical for 1, 2 or 4 workers — and identical again after a
+kill-and-resume, because each shard replays its own journal independently
+and replayed entries are JSON-stable.
+
+The ``repro serve --workers N`` CLI path and the socket front-end's sharded
+bridge both drive a :class:`ShardPool`; :func:`run_serve_sharded` is the
+offline entry point used by the CLI, the benchmark and the tests.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import multiprocessing
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.data.lexicons import LexiconCollection, builtin_lexicons
+from repro.experiments.presets import ExperimentScale, get_scale
+from repro.llm.model import OnDeviceLLM
+from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.errors import RetryPolicy
+from repro.serve.faults import FaultInjector, FaultPlan, InjectedCrash
+from repro.serve.frontend import normalize_entry
+from repro.serve.journal import (
+    JOURNAL_FILE,
+    JournalError,
+    RequestJournal,
+    decode_request,
+    encode_request,
+    journal_digest,
+    replay,
+)
+from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load
+from repro.serve.runner import (
+    _check_journal_meta,
+    _flush_tolerantly,
+    make_session_manager,
+    restore_shared_streams,
+    roll_forward,
+    serving_generation_config,
+)
+from repro.serve.scheduler import Request, RequestScheduler
+
+#: Top-level state-directory manifest of a sharded durable run: records the
+#: shard count and load so a resume with a different topology is refused
+#: instead of silently scrambling user->shard assignments.
+SHARDS_META_FILE = "shards.json"
+
+
+# ---------------------------------------------------------------------- #
+# consistent-hash routing
+# ---------------------------------------------------------------------- #
+class ShardRing:
+    """A consistent-hash ring mapping user ids to shard indices.
+
+    Each shard owns ``vnodes_per_shard`` points on a 64-bit ring (SHA-256 of
+    ``"<salt>/<shard>/<vnode>"``); a user hashes to the first point at or
+    after its own hash.  Consistent hashing gives the rebalance property the
+    scaling guide documents: growing from N to N+1 shards moves only the
+    keys the new shard's points capture (≈ 1/(N+1) of them) — every other
+    user stays on its shard, adapters and journals untouched.
+    """
+
+    def __init__(
+        self, num_shards: int, vnodes_per_shard: int = 64, salt: str = "repro-shard"
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.vnodes_per_shard = vnodes_per_shard
+        self.salt = salt
+        points = []
+        for shard in range(num_shards):
+            for vnode in range(vnodes_per_shard):
+                points.append((self._point(f"{salt}/{shard}/{vnode}"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [shard for _, shard in points]
+
+    @staticmethod
+    def _point(key: str) -> int:
+        return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+    def shard_for(self, user_id: str) -> int:
+        """The shard that owns ``user_id``."""
+        index = bisect_right(self._hashes, self._point(user_id)) % len(self._hashes)
+        return self._owners[index]
+
+    def assignments(self, user_ids: Sequence[str]) -> Dict[int, List[str]]:
+        """User ids grouped by owning shard (shards with no users omitted)."""
+        grouped: Dict[int, List[str]] = {}
+        for user_id in user_ids:
+            grouped.setdefault(self.shard_for(user_id), []).append(user_id)
+        return grouped
+
+
+# ---------------------------------------------------------------------- #
+# digest composition
+# ---------------------------------------------------------------------- #
+def user_transcript_digest(entries: Sequence[dict]) -> str:
+    """SHA-256 of one user's normalized entries in ``user_seq`` order."""
+    ordered = sorted(entries, key=lambda entry: entry["user_seq"])
+    encoded = json.dumps(ordered, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def compose_user_digests(user_digests: Dict[str, str]) -> str:
+    """Aggregate digest over per-user digests (sorted ``user:digest`` lines).
+
+    Pure composition: any partition of users into shards yields the same
+    aggregate as long as every user's own digest is unchanged — the property
+    that makes the digest worker-count-independent.
+    """
+    lines = "\n".join(f"{user}:{digest}" for user, digest in sorted(user_digests.items()))
+    return hashlib.sha256(lines.encode("utf-8")).hexdigest()
+
+
+def aggregate_transcript_digest(normalized_entries: Sequence[dict]) -> str:
+    """Aggregate digest straight from normalized entries (any order)."""
+    per_user: Dict[str, List[dict]] = {}
+    for entry in normalized_entries:
+        per_user.setdefault(entry["user_id"], []).append(entry)
+    return compose_user_digests(
+        {user: user_transcript_digest(entries) for user, entries in per_user.items()}
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the worker (runs in a forked process or a thread)
+# ---------------------------------------------------------------------- #
+@dataclass
+class ShardWorkerConfig:
+    """Everything one shard worker needs to build its private serving stack."""
+
+    index: int
+    num_shards: int
+    load: LoadConfig
+    scale: ExperimentScale
+    cache_capacity: Optional[int] = 4
+    max_batch_size: int = 8
+    adapter_dir: Optional[Path] = None
+    state_dir: Optional[Path] = None
+    resume: bool = False
+    fault_plan: Optional[FaultPlan] = None
+    retry: Optional[RetryPolicy] = None
+    deadline_seconds: Optional[float] = None
+    fsync: bool = False
+    max_restarts: int = 8
+
+
+def shard_state_dir(state_root: Union[str, Path], index: int) -> Path:
+    """The per-shard durable state directory under ``state_root``."""
+    return Path(state_root) / f"shard-{index:02d}"
+
+
+def _shard_worker_main(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> None:
+    """Worker entry point: serve this shard's requests until drained.
+
+    Protocol (over the pipe, worker side):
+
+    - sends ``("entry", request_id, normalized_entry)`` for every transcript
+      entry — journal-replayed ones first on resume, then live ones;
+    - sends ``("ready", info)`` once recovery is done and the shard accepts
+      requests;
+    - receives ``("serve", [encoded_request, ...])`` and
+      ``("drain",)`` commands;
+    - sends ``("done", summary)`` after draining, then exits.
+
+    Injected *soft* crashes restart the shard in place from the journal,
+    exactly like :func:`~repro.serve.runner.run_serve`; requests received
+    but not yet journaled survive in the worker-local inbox.
+    """
+    try:
+        _shard_worker_serve(conn, config, llm)
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> None:
+    faults = FaultInjector(config.fault_plan) if config.fault_plan is not None else None
+    lexicons = builtin_lexicons()
+    generation = serving_generation_config(llm, config.scale)
+
+    durable = config.state_dir is not None
+    if durable:
+        state_path = Path(config.state_dir)
+        state_path.mkdir(parents=True, exist_ok=True)
+        journal_path = state_path / JOURNAL_FILE
+        checkpoint_root = state_path / "sessions"
+        store_dir = config.adapter_dir or state_path / "adapters"
+        if journal_path.exists() and not config.resume:
+            raise JournalError(
+                f"journal already exists at {journal_path}; pass resume=True to replay it"
+            )
+    else:
+        if config.fault_plan is not None and config.fault_plan.crash_point is not None:
+            raise ValueError("crash injection requires a state_dir to recover from")
+        if config.adapter_dir is None:
+            raise ValueError("shard worker needs an adapter_dir when not durable")
+        journal_path = None
+        checkpoint_root = None
+        store_dir = config.adapter_dir
+
+    seqs: Dict[str, int] = {}
+    normalized: Dict[int, dict] = {}
+    latencies: List[float] = []
+    serve_seconds = 0.0
+    batch_start: Optional[float] = None
+
+    def emit(entry: dict) -> None:
+        user_id = entry["user_id"]
+        seq = seqs.get(user_id, 0)
+        seqs[user_id] = seq + 1
+        request_id = entry.get("request_id")
+        shaped = normalize_entry(entry, seq)
+        normalized[request_id] = shaped
+        if batch_start is not None:
+            latencies.append(time.perf_counter() - batch_start)
+        conn.send(("entry", request_id, shaped))
+
+    inbox: List[Request] = []
+    ready_sent = False
+    drain_requested = False
+    runtime_snapshot: Optional[dict] = None
+    restarts = 0
+    replayed_total = 0
+    dead_letters_total = 0
+    degraded_total = 0
+    retries_total = 0
+
+    while True:  # injected-soft-crash restart loop
+        seqs.clear()
+        store = LoRAAdapterStore(
+            store_dir, cache_capacity=config.cache_capacity, faults=faults
+        )
+        manager = make_session_manager(
+            llm,
+            store,
+            config.scale,
+            seed=config.load.seed,
+            lexicons=lexicons,
+            checkpoint_root=checkpoint_root,
+        )
+        if runtime_snapshot is None:
+            runtime_snapshot = llm.export_runtime_state()
+        journal = None
+        commit_seq = 0
+        past = None
+        if durable:
+            commit_seq = restore_shared_streams(checkpoint_root, llm)
+            journal = RequestJournal(journal_path, fsync=config.fsync)
+        scheduler = RequestScheduler(
+            manager,
+            max_batch_size=config.max_batch_size,
+            generation=generation,
+            journal=journal,
+            faults=faults,
+            retry=config.retry,
+            deadline_seconds=config.deadline_seconds,
+            commit_seq_start=commit_seq,
+        )
+        scheduler.entry_listener = emit
+        try:
+            replayed: Dict[int, dict] = {}
+            if durable:
+                past = replay(journal_path)
+                _check_journal_meta(past, config.load)
+                if past.dropped_records:
+                    journal.health.degrade(
+                        f"dropped {past.dropped_records} corrupt journal record(s) on replay"
+                    )
+                if past.meta is None:
+                    journal.record_meta(
+                        {
+                            "load": asdict(config.load),
+                            "scale": config.scale.name,
+                            "shard": {"index": config.index, "num_shards": config.num_shards},
+                        }
+                    )
+                # Re-announce everything the journal saw finish: the parent
+                # deduplicates, so across a resume the merged entry set —
+                # and therefore the aggregate digest — matches a run that
+                # never crashed.  Per user, finished ids are a FIFO prefix,
+                # so sorted-id order reproduces the original seq numbers.
+                for entry in past.finished_entries():
+                    emit(dict(entry))
+                replayed = roll_forward(past, store, manager, journal)
+                replayed_total += len(replayed)
+                for request_id in sorted(replayed):
+                    emit(dict(replayed[request_id]))
+                for request in past.pending:
+                    if request.request_id in replayed:
+                        continue
+                    scheduler.submit(request, journal_record=False)
+            while inbox:
+                request = inbox[0]
+                request_id = request.request_id
+                already = past is not None and (
+                    past.is_finished(request_id) or request_id in replayed
+                )
+                if not already and request_id not in normalized:
+                    scheduler.submit(
+                        request,
+                        journal_record=past is None or request_id not in past.enqueued,
+                    )
+                inbox.pop(0)
+            started = time.perf_counter()
+            batch_start = started
+            scheduler.run()
+            batch_start = None
+            serve_seconds += time.perf_counter() - started
+            if not ready_sent:
+                conn.send(
+                    (
+                        "ready",
+                        {
+                            "index": config.index,
+                            "replayed_entries": len(normalized),
+                            "next_request_id": past.next_request_id if past is not None else 0,
+                        },
+                    )
+                )
+                ready_sent = True
+            while not drain_requested:
+                message = conn.recv()
+                if message[0] == "serve":
+                    inbox.extend(decode_request(payload) for payload in message[1])
+                    while inbox:
+                        request = inbox[0]
+                        request_id = request.request_id
+                        already = past is not None and (
+                            past.is_finished(request_id) or request_id in replayed
+                        )
+                        if not already and request_id not in normalized:
+                            scheduler.submit(
+                                request,
+                                journal_record=past is None
+                                or request_id not in past.enqueued,
+                            )
+                        inbox.pop(0)
+                    started = time.perf_counter()
+                    batch_start = started
+                    scheduler.run()
+                    batch_start = None
+                    serve_seconds += time.perf_counter() - started
+                elif message[0] == "drain":
+                    drain_requested = True
+                else:  # pragma: no cover - protocol misuse
+                    raise ValueError(f"unknown shard command {message[0]!r}")
+            dead_letters_total += len(scheduler.dead_letters)
+            degraded_total += scheduler.degraded_chats
+            retries_total += scheduler.retries
+            _flush_tolerantly(manager)
+            if journal is not None:
+                journal.close()
+            per_user: Dict[str, List[dict]] = {}
+            for entry in normalized.values():
+                per_user.setdefault(entry["user_id"], []).append(entry)
+            summary = {
+                "index": config.index,
+                "served": len(normalized),
+                "users": sorted(per_user),
+                "user_digests": {
+                    user: user_transcript_digest(entries)
+                    for user, entries in per_user.items()
+                },
+                "journal_digest": journal_digest(journal_path) if durable else None,
+                "replayed_requests": replayed_total,
+                "restarts": restarts,
+                "dead_letter_requests": dead_letters_total,
+                "degraded_chat_requests": degraded_total,
+                "retries": retries_total,
+                "serve_seconds": serve_seconds,
+                "entry_latencies": latencies,
+                "store": store.stats.to_dict(),
+                "health": scheduler.health_report(),
+            }
+            conn.send(("done", summary))
+            return
+        except InjectedCrash:
+            batch_start = None
+            dead_letters_total += len(scheduler.dead_letters)
+            degraded_total += scheduler.degraded_chats
+            retries_total += scheduler.retries
+            if journal is not None:
+                journal.close()
+            restarts += 1
+            if restarts > config.max_restarts:
+                raise RuntimeError(
+                    f"shard {config.index} gave up after {config.max_restarts} "
+                    "injected-crash restarts"
+                ) from None
+            llm.load_runtime_state(runtime_snapshot)
+
+
+# ---------------------------------------------------------------------- #
+# the pool (parent side)
+# ---------------------------------------------------------------------- #
+class ShardPoolError(RuntimeError):
+    """A shard worker died or misbehaved."""
+
+
+@dataclass
+class _Worker:
+    index: int
+    conn: object
+    runner: object  # multiprocessing.Process or threading.Thread
+    listener: Optional[threading.Thread] = None
+    ready: threading.Event = field(default_factory=threading.Event)
+    done: threading.Event = field(default_factory=threading.Event)
+    ready_info: Optional[dict] = None
+    summary: Optional[dict] = None
+    error: Optional[str] = None
+
+
+def default_worker_mode() -> str:
+    """``process`` where ``fork`` exists (Linux), else the ``thread`` fallback."""
+    return "process" if "fork" in multiprocessing.get_all_start_methods() else "thread"
+
+
+class ShardPool:
+    """One worker per shard plus the consistent-hash router in front.
+
+    The pool owns the worker lifecycle (spawn → ready → serve → drain) and
+    the merged view of their output: deduplicated normalized entries, merged
+    per-user digests and the composed aggregate digest.  ``on_entry`` (if
+    given) is called as ``on_entry(request_id, normalized_entry)`` from a
+    listener thread the moment a worker reports an entry — the socket
+    front-end uses this for streaming delivery.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        llm: OnDeviceLLM,
+        load: LoadConfig,
+        scale: ExperimentScale,
+        cache_capacity: Optional[int] = 4,
+        max_batch_size: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        deadline_seconds: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fsync: bool = False,
+        max_restarts: int = 8,
+        adapter_root: Optional[Union[str, Path]] = None,
+        state_root: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        mode: Optional[str] = None,
+        on_entry: Optional[Callable[[int, dict], None]] = None,
+    ) -> None:
+        if mode is None:
+            mode = default_worker_mode()
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown shard worker mode {mode!r}")
+        if mode == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            mode = "thread"
+        self.ring = ShardRing(num_shards)
+        self.num_shards = num_shards
+        self.mode = mode
+        self.llm = llm
+        self.load = load
+        self.scale = scale
+        self.cache_capacity = cache_capacity
+        self.max_batch_size = max_batch_size
+        self.retry = retry
+        self.deadline_seconds = deadline_seconds
+        self.fault_plan = fault_plan
+        self.fsync = fsync
+        self.max_restarts = max_restarts
+        self.adapter_root = Path(adapter_root) if adapter_root is not None else None
+        self.state_root = Path(state_root) if state_root is not None else None
+        self.resume = resume
+        self.on_entry = on_entry
+        self.entries: Dict[int, dict] = {}
+        self._entries_lock = threading.Lock()
+        self._workers: List[_Worker] = []
+        self._started = False
+        self._drained = False
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    def start(self, timeout: float = 300.0) -> List[dict]:
+        """Spawn every worker and wait until all shards are ready.
+
+        Returns the per-shard ready infos (recovery counts).  On a durable
+        pool this is where each shard independently replays its journal —
+        replayed entries stream through ``on_entry`` before ready fires.
+        """
+        if self._started:
+            raise ShardPoolError("pool already started")
+        self._started = True
+        self._check_state_meta()
+        context = multiprocessing.get_context("fork") if self.mode == "process" else None
+        # Spawn first, listen second: forked children must not inherit the
+        # listener threads (a forked lock held by a thread that does not
+        # exist in the child is a deadlock).
+        for index in range(self.num_shards):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            config = self._worker_config(index)
+            if self.mode == "process":
+                runner = context.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, config, self.llm),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                runner.start()
+                child_conn.close()
+            else:
+                worker_llm = copy.deepcopy(self.llm)
+                runner = threading.Thread(
+                    target=_shard_worker_main,
+                    args=(child_conn, config, worker_llm),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                runner.start()
+            self._workers.append(_Worker(index=index, conn=parent_conn, runner=runner))
+        for worker in self._workers:
+            worker.listener = threading.Thread(
+                target=self._listen, args=(worker,), name=f"repro-shard-listen-{worker.index}"
+            )
+            worker.listener.start()
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not worker.ready.wait(remaining):
+                raise ShardPoolError(f"shard {worker.index} not ready after {timeout}s")
+            if worker.error is not None:
+                raise ShardPoolError(f"shard {worker.index} failed: {worker.error}")
+        return [worker.ready_info for worker in self._workers]
+
+    def _worker_config(self, index: int) -> ShardWorkerConfig:
+        state_dir = shard_state_dir(self.state_root, index) if self.state_root else None
+        if state_dir is None and self.adapter_root is None:
+            raise ShardPoolError("non-durable pool needs an adapter_root")
+        adapter_dir = (
+            self.adapter_root / f"shard-{index:02d}" if self.adapter_root is not None else None
+        )
+        return ShardWorkerConfig(
+            index=index,
+            num_shards=self.num_shards,
+            load=self.load,
+            scale=self.scale,
+            cache_capacity=self.cache_capacity,
+            max_batch_size=self.max_batch_size,
+            adapter_dir=adapter_dir,
+            state_dir=state_dir,
+            resume=self.resume,
+            fault_plan=self.fault_plan,
+            retry=self.retry,
+            deadline_seconds=self.deadline_seconds,
+            fsync=self.fsync,
+            max_restarts=self.max_restarts,
+        )
+
+    def _check_state_meta(self) -> None:
+        """Write or validate the topology manifest of a durable state root."""
+        if self.state_root is None:
+            return
+        self.state_root.mkdir(parents=True, exist_ok=True)
+        meta_path = self.state_root / SHARDS_META_FILE
+        meta = {"num_shards": self.num_shards, "load": asdict(self.load), "scale": self.scale.name}
+        if meta_path.is_file():
+            if not self.resume:
+                raise JournalError(
+                    f"sharded state already exists at {self.state_root}; "
+                    "pass resume=True to replay it"
+                )
+            recorded = json.loads(meta_path.read_text())
+            if recorded.get("num_shards") != self.num_shards:
+                raise JournalError(
+                    f"state dir was written with {recorded.get('num_shards')} shards; "
+                    f"refusing to resume with {self.num_shards} (rehashing would "
+                    "scramble user->shard assignments)"
+                )
+            if recorded.get("load") != meta["load"]:
+                raise JournalError(
+                    "sharded state dir was recorded for a different load "
+                    "configuration; refusing to resume"
+                )
+        else:
+            meta_path.write_text(json.dumps(meta, indent=2, sort_keys=True))
+
+    def _listen(self, worker: _Worker) -> None:
+        """Drain one worker's pipe until done/error/EOF (its own thread)."""
+        while True:
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                if worker.error is None and worker.summary is None:
+                    worker.error = "worker pipe closed unexpectedly (process died?)"
+                worker.ready.set()
+                worker.done.set()
+                return
+            kind = message[0]
+            if kind == "entry":
+                _, request_id, entry = message
+                with self._entries_lock:
+                    self.entries[request_id] = entry
+                if self.on_entry is not None:
+                    self.on_entry(request_id, entry)
+            elif kind == "ready":
+                worker.ready_info = message[1]
+                worker.ready.set()
+            elif kind == "done":
+                worker.summary = message[1]
+                worker.ready.set()
+                worker.done.set()
+                return
+            elif kind == "error":
+                worker.error = message[1]
+                worker.ready.set()
+                worker.done.set()
+                return
+
+    # -------------------------------------------------------------- #
+    # routing + serving
+    # -------------------------------------------------------------- #
+    def shard_for(self, user_id: str) -> int:
+        return self.ring.shard_for(user_id)
+
+    def submit(self, request: Request) -> int:
+        """Route one request to its shard; returns the shard index."""
+        index = self.ring.shard_for(request.user_id)
+        self._send(index, ("serve", [encode_request(request)]))
+        return index
+
+    def submit_many(self, requests: Sequence[Request]) -> None:
+        """Route a batch, one message per shard, preserving arrival order."""
+        grouped: Dict[int, List[dict]] = {}
+        for request in requests:
+            grouped.setdefault(self.ring.shard_for(request.user_id), []).append(
+                encode_request(request)
+            )
+        for index, encoded in grouped.items():
+            self._send(index, ("serve", encoded))
+
+    def _send(self, index: int, message) -> None:
+        try:
+            self._workers[index].conn.send(message)
+        except (OSError, BrokenPipeError) as error:
+            detail = self._workers[index].error or f"{type(error).__name__}: {error}"
+            raise ShardPoolError(
+                f"shard {index} is not accepting requests ({detail})"
+            ) from None
+
+    def drain(self, timeout: float = 600.0) -> List[dict]:
+        """Flush and stop every worker; returns the shard summaries in order.
+
+        Raises :class:`ShardPoolError` if any worker died without reporting
+        a summary (its shard's requests may be stranded in its journal).
+        """
+        if self._drained:
+            return [worker.summary for worker in self._workers]
+        self._drained = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("drain",))
+            except (OSError, BrokenPipeError):
+                pass  # already dead; the listener recorded the error
+        deadline = time.monotonic() + timeout
+        failures = []
+        for worker in self._workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            if not worker.done.wait(remaining):
+                failures.append(f"shard {worker.index} did not drain within {timeout}s")
+                continue
+            worker.listener.join(timeout=10.0)
+            worker.runner.join(timeout=10.0)
+            if worker.error is not None:
+                failures.append(f"shard {worker.index}: {worker.error}")
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        if failures:
+            raise ShardPoolError("; ".join(failures))
+        return [worker.summary for worker in self._workers]
+
+    def terminate(self) -> None:
+        """Best-effort hard stop (failure paths only; drains nothing)."""
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            terminate = getattr(worker.runner, "terminate", None)
+            if terminate is not None and worker.runner.is_alive():
+                terminate()
+
+    # -------------------------------------------------------------- #
+    # merged views
+    # -------------------------------------------------------------- #
+    def normalized_entries(self) -> List[dict]:
+        """Every entry seen so far, sorted by ``(user_id, user_seq)``."""
+        with self._entries_lock:
+            entries = list(self.entries.values())
+        return sorted(entries, key=lambda entry: (entry["user_id"], entry["user_seq"]))
+
+    def aggregate_digest(self) -> str:
+        """The composed per-user digest over everything seen so far."""
+        return aggregate_transcript_digest(self.normalized_entries())
+
+
+# ---------------------------------------------------------------------- #
+# the offline entry point
+# ---------------------------------------------------------------------- #
+@dataclass
+class ShardedServeOutcome:
+    """Everything one sharded serving run produced."""
+
+    num_workers: int
+    mode: str
+    aggregate_digest: str
+    user_digests: Dict[str, str]
+    entries: List[dict]
+    shard_summaries: List[dict]
+    total_requests: int
+    dead_letter_requests: int
+    degraded_chat_requests: int
+    replayed_requests: int
+    restarts: int
+    elapsed_seconds: float
+    requests_per_sec: float
+    entry_latencies: List[float] = field(default_factory=list)
+    journal_digests: Dict[int, Optional[str]] = field(default_factory=dict)
+    state_dir: Optional[Path] = None
+
+    @property
+    def all_dead_lettered(self) -> bool:
+        """True when every request dead-lettered (the CLI's exit-3 contract)."""
+        return self.total_requests > 0 and self.dead_letter_requests >= self.total_requests
+
+    def to_dict(self) -> dict:
+        return {
+            "num_workers": self.num_workers,
+            "mode": self.mode,
+            "aggregate_digest": self.aggregate_digest,
+            "user_digests": dict(sorted(self.user_digests.items())),
+            "total_requests": self.total_requests,
+            "dead_letter_requests": self.dead_letter_requests,
+            "degraded_chat_requests": self.degraded_chat_requests,
+            "replayed_requests": self.replayed_requests,
+            "restarts": self.restarts,
+            "elapsed_seconds": self.elapsed_seconds,
+            "requests_per_sec": self.requests_per_sec,
+            "journal_digests": {
+                str(index): digest for index, digest in sorted(self.journal_digests.items())
+            },
+            "shards": [
+                {key: value for key, value in summary.items() if key != "entry_latencies"}
+                for summary in self.shard_summaries
+            ],
+            "transcript": self.entries,
+        }
+
+
+def run_serve_sharded(
+    load: LoadConfig,
+    workers: int,
+    scale: Optional[ExperimentScale] = None,
+    adapter_dir: Optional[Union[str, Path]] = None,
+    cache_capacity: Optional[int] = 4,
+    max_batch_size: int = 8,
+    lexicons: Optional[LexiconCollection] = None,
+    pretrain_epochs: Optional[int] = None,
+    llm: Optional[OnDeviceLLM] = None,
+    state_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+    deadline_seconds: Optional[float] = None,
+    fsync: bool = False,
+    max_restarts: int = 8,
+    mode: Optional[str] = None,
+) -> ShardedServeOutcome:
+    """Serve one synthetic workload across ``workers`` shards; returns the outcome.
+
+    The sharded twin of :func:`~repro.serve.runner.run_serve`: the base
+    model is built (or passed in) once, the deterministic load is generated
+    once, and every request is routed to its consistent-hash shard.  With a
+    ``state_dir``, each shard keeps its own journal/checkpoints/adapters
+    under ``<state_dir>/shard-NN`` and resumes independently; the topology
+    manifest refuses a resume with a different worker count.
+    """
+    import tempfile
+
+    scale = scale or get_scale("smoke", seed=load.seed)
+    lexicons = lexicons or builtin_lexicons()
+    if llm is None:
+        llm = build_serving_llm(
+            scale,
+            dataset=load.dataset,
+            seed=load.seed,
+            lexicons=lexicons,
+            pretrain_epochs=pretrain_epochs,
+        )
+    temporary = None
+    adapter_root = Path(adapter_dir) if adapter_dir is not None else None
+    if state_dir is None and adapter_root is None:
+        temporary = tempfile.TemporaryDirectory(prefix="repro-shard-adapters-")
+        adapter_root = Path(temporary.name)
+    pool = ShardPool(
+        workers,
+        llm=llm,
+        load=load,
+        scale=scale,
+        cache_capacity=cache_capacity,
+        max_batch_size=max_batch_size,
+        retry=retry,
+        deadline_seconds=deadline_seconds,
+        fault_plan=fault_plan,
+        fsync=fsync,
+        max_restarts=max_restarts,
+        adapter_root=adapter_root,
+        state_root=state_dir,
+        resume=resume,
+        mode=mode,
+    )
+    try:
+        pool.start()
+        started = time.perf_counter()
+        pool.submit_many(generate_load(load, lexicons=lexicons))
+        summaries = pool.drain()
+        elapsed = time.perf_counter() - started
+    except BaseException:
+        pool.terminate()
+        raise
+    finally:
+        if temporary is not None:
+            temporary.cleanup()
+    return _assemble_outcome(pool, summaries, elapsed, state_dir)
+
+
+def _assemble_outcome(
+    pool: ShardPool,
+    summaries: List[dict],
+    elapsed: float,
+    state_dir: Optional[Union[str, Path]],
+) -> ShardedServeOutcome:
+    user_digests: Dict[str, str] = {}
+    for summary in summaries:
+        for user, digest in summary["user_digests"].items():
+            if user in user_digests:  # a user must live on exactly one shard
+                raise ShardPoolError(f"user {user!r} served by more than one shard")
+            user_digests[user] = digest
+    entries = pool.normalized_entries()
+    aggregate = compose_user_digests(user_digests)
+    cross_check = aggregate_transcript_digest(entries)
+    if entries and aggregate != cross_check:
+        raise ShardPoolError(
+            "aggregate digest mismatch between shard-composed and "
+            f"parent-recomputed values ({aggregate[:12]} != {cross_check[:12]})"
+        )
+    total = len(entries)
+    latencies = sorted(
+        latency for summary in summaries for latency in summary.get("entry_latencies", [])
+    )
+    return ShardedServeOutcome(
+        num_workers=pool.num_shards,
+        mode=pool.mode,
+        aggregate_digest=aggregate,
+        user_digests=user_digests,
+        entries=entries,
+        shard_summaries=summaries,
+        total_requests=total,
+        dead_letter_requests=sum(s["dead_letter_requests"] for s in summaries),
+        degraded_chat_requests=sum(s["degraded_chat_requests"] for s in summaries),
+        replayed_requests=sum(s["replayed_requests"] for s in summaries),
+        restarts=sum(s["restarts"] for s in summaries),
+        elapsed_seconds=elapsed,
+        requests_per_sec=total / elapsed if elapsed > 0 else 0.0,
+        entry_latencies=latencies,
+        journal_digests={s["index"]: s["journal_digest"] for s in summaries},
+        state_dir=Path(state_dir) if state_dir is not None else None,
+    )

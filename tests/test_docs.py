@@ -1,0 +1,126 @@
+"""The docs gate: repository docs are link-clean and the checker has teeth.
+
+Two halves.  The first runs ``scripts/docs_check.py`` over the real
+``docs/`` + ``README.md`` — the same check CI's docs job performs — so a
+PR that renames a file or a CLI flag without sweeping the docs fails
+tier-1 locally, not just in CI.  The second half feeds the checker
+fabricated markdown with known defects (broken target, dead anchor,
+unknown subcommand, vanished flag) and requires each to be caught: a
+linter that passes everything is worse than none.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+_SPEC = importlib.util.spec_from_file_location(
+    "docs_check", REPO_ROOT / "scripts" / "docs_check.py"
+)
+docs_check = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(docs_check)
+
+
+class TestRepositoryDocs:
+    def test_all_docs_pass_the_checker(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["docs_check.py", "--quiet"])
+        assert docs_check.main() == 0, capsys.readouterr().err
+
+    def test_every_doc_is_reachable_from_the_readme(self):
+        """README's docs index must cover every file in docs/."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert f"docs/{doc.name}" in readme, f"{doc.name} missing from README"
+
+
+class TestSlugs:
+    def test_plain_heading(self):
+        assert docs_check.github_slug("Adapter store layout") == "adapter-store-layout"
+
+    def test_punctuation_drops_spaces_remain_hyphens(self):
+        assert docs_check.github_slug("CLI, benchmark, CI") == "cli-benchmark-ci"
+        assert docs_check.github_slug("Backend & fused kernels") == "backend--fused-kernels"
+
+    def test_code_spans_keep_their_text(self):
+        assert docs_check.github_slug("The `A1` binary adapter record") == (
+            "the-a1-binary-adapter-record"
+        )
+
+
+class TestLinkChecking:
+    def write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def check(self, path):
+        return docs_check.check_links(path, {})
+
+    def test_broken_file_target_is_caught(self, tmp_path):
+        page = self.write(tmp_path, "page.md", "see [gone](missing.md)\n")
+        problems = self.check(page)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_dead_anchor_is_caught(self, tmp_path):
+        self.write(tmp_path, "other.md", "# Real Heading\n")
+        page = self.write(tmp_path, "page.md", "see [x](other.md#fake-heading)\n")
+        problems = self.check(page)
+        assert len(problems) == 1 and "fake-heading" in problems[0]
+
+    def test_good_link_and_anchor_pass(self, tmp_path):
+        self.write(tmp_path, "other.md", "## Real Heading\n")
+        page = self.write(
+            tmp_path, "page.md", "see [x](other.md#real-heading) and [y](other.md)\n"
+        )
+        assert self.check(page) == []
+
+    def test_external_and_fenced_links_are_ignored(self, tmp_path):
+        page = self.write(
+            tmp_path,
+            "page.md",
+            "[ext](https://example.com/x)\n```\n[fake](nowhere.md)\n```\n",
+        )
+        assert self.check(page) == []
+
+    def test_same_file_anchor_checked(self, tmp_path):
+        page = self.write(tmp_path, "page.md", "# Top\n\njump [down](#bottom)\n")
+        problems = self.check(page)
+        assert len(problems) == 1 and "#bottom" in problems[0]
+
+
+class TestCommandChecking:
+    def surface(self):
+        return docs_check.cli_option_surface()
+
+    def check(self, tmp_path, body):
+        path = tmp_path / "page.md"
+        path.write_text(f"```\n{body}\n```\n")
+        subcommands, top_level = self.surface()
+        return docs_check.check_commands(path, subcommands, top_level)
+
+    def test_real_examples_pass_with_placeholder_values(self, tmp_path):
+        assert self.check(
+            tmp_path,
+            "repro serve --chaos --seed N --users 4 --scale smoke   # N in {0,1,2}",
+        ) == []
+
+    def test_unknown_subcommand_is_caught(self, tmp_path):
+        problems = self.check(tmp_path, "repro launch --users 4")
+        assert len(problems) == 1 and "launch" in problems[0]
+
+    def test_vanished_flag_is_caught(self, tmp_path):
+        problems = self.check(tmp_path, "repro serve --no-such-flag 3")
+        assert len(problems) == 1 and "--no-such-flag" in problems[0]
+
+    def test_backslash_continuation_joins_one_command(self, tmp_path):
+        body = "repro serve --listen 127.0.0.1:0 \\\n    --port-file /tmp/port"
+        assert self.check(tmp_path, body) == []
+        path = tmp_path / "page.md"
+        commands = docs_check.repro_commands(path)
+        assert len(commands) == 1 and "--port-file" in commands[0][1]
+
+    def test_prose_outside_fences_is_not_parsed(self, tmp_path):
+        path = tmp_path / "page.md"
+        path.write_text("repro serve --bogus-flag is mentioned in prose here\n")
+        subcommands, top_level = self.surface()
+        assert docs_check.check_commands(path, subcommands, top_level) == []

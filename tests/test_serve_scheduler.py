@@ -216,7 +216,7 @@ class TestServeCLI:
         assert payload["total_requests"] == 6
         assert payload["scale"] == "smoke"
         assert len(payload["transcript"]) == 6
-        adapters = list((out_dir / "adapters").glob("*.adapter.pkl"))
+        adapters = list((out_dir / "adapters").glob("*.adapter.bin"))
         assert adapters  # per-user adapter files persisted
 
         # Re-running into the same --out must reset the adapter directory and
