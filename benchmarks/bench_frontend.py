@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List
 
 from repro.experiments.presets import get_scale
+from repro.serve import ServeConfig
 from repro.serve.client import ServeClient
 from repro.serve.frontend import FrontendThread, ServeFrontend
 from repro.serve.loadgen import LoadConfig, build_serving_llm, generate_load
@@ -72,11 +73,10 @@ async def _drive_all(host: str, port: int, per_user: Dict[str, List[str]]):
     )
 
 
-def _run_once(llm, scale, per_user: Dict[str, List[str]]) -> Dict[str, object]:
+def _run_once(llm, scale, load, per_user: Dict[str, List[str]]) -> Dict[str, object]:
     """One server boot + timed drive; returns latencies, elapsed and digest."""
-    frontend = ServeFrontend(
-        host="127.0.0.1", port=0, scale=scale, seed=0, llm=llm, max_batch_size=MAX_BATCH
-    )
+    config = ServeConfig(load=load, scale=scale, listen="127.0.0.1:0", max_batch_size=MAX_BATCH)
+    frontend = ServeFrontend(config, llm=llm)
     server = FrontendThread(frontend)
     host, port = server.start()
     start = time.perf_counter()
@@ -109,7 +109,7 @@ def run_benchmark(runs: int = RUNS) -> Dict[str, object]:
     results = []
     for _ in range(runs):
         llm.load_runtime_state(snapshot)
-        results.append(_run_once(llm, scale, per_user))
+        results.append(_run_once(llm, scale, load, per_user))
 
     digests = {result["digest"] for result in results}
     best = min(results, key=lambda result: result["elapsed"])

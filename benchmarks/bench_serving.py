@@ -53,6 +53,7 @@ from repro.serve import (
     LoRAAdapterStore,
     RequestJournal,
     RequestScheduler,
+    ServeConfig,
     generate_load,
     run_serve_sharded,
     write_legacy_pickle_adapter,
@@ -136,11 +137,13 @@ def _shard_bench(llm, scale) -> Dict[str, object]:
     mode = "process"
     for workers in SHARD_WORKER_COUNTS:
         outcome = run_serve_sharded(
-            load,
-            workers=workers,
-            scale=scale,
+            ServeConfig(
+                load=load,
+                scale=scale,
+                workers=workers,
+                max_batch_size=BATCHED_MAX_BATCH,
+            ),
             llm=llm.clone(),
-            max_batch_size=BATCHED_MAX_BATCH,
         )
         mode = outcome.mode
         tokens = sum(

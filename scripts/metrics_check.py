@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Metrics snapshot gate: validate a ``metrics.json`` written by a serve run.
+
+A serving run that silently stops exporting metrics (or exports a
+malformed snapshot) breaks every dashboard downstream, so nightly CI
+feeds the smoke run's snapshot through this validator:
+
+* the snapshot must carry the known ``schema`` version and the three
+  metric sections (``counters``, ``gauges``, ``histograms``);
+* counters must be non-negative integers;
+* gauges must be ``{"value": number, "merge": <known mode>}`` objects;
+* histograms must satisfy the structural invariants — strictly
+  increasing bucket bounds, ``len(counts) == len(bounds) + 1`` (the last
+  bucket is the +Inf overflow) and ``sum(counts) == count``;
+* every metric named with ``--require`` must be present, and with
+  ``--require-nonzero A,B,...`` at least one of the listed counters must
+  be non-zero (how the chaos job asserts the degradation ladder actually
+  fired).
+
+Usage::
+
+    PYTHONPATH=src python scripts/metrics_check.py runs/nightly-serve/metrics.json \
+        --require serve_requests_total{kind=chat} \
+        --require-nonzero serve_retries_total,serve_degraded_total
+
+Exit codes: 0 valid, 1 invalid snapshot (each violation printed), 2 the
+file is missing or not JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import GAUGE_MERGE_MODES, SNAPSHOT_SCHEMA_VERSION  # noqa: E402
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def validate_snapshot(snapshot: dict) -> List[str]:
+    """Every structural violation in ``snapshot`` (empty when valid)."""
+    problems: List[str] = []
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA_VERSION:
+        problems.append(
+            f"schema: expected {SNAPSHOT_SCHEMA_VERSION}, got {schema!r}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            problems.append(f"{section}: missing or not an object")
+    if problems:
+        return problems
+
+    for key, value in snapshot["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"counter {key}: expected a non-negative integer, got {value!r}")
+
+    for key, gauge in snapshot["gauges"].items():
+        if not isinstance(gauge, dict):
+            problems.append(f"gauge {key}: expected an object, got {gauge!r}")
+            continue
+        if not isinstance(gauge.get("value"), (int, float)) or isinstance(
+            gauge.get("value"), bool
+        ):
+            problems.append(f"gauge {key}: 'value' must be a number, got {gauge.get('value')!r}")
+        if gauge.get("merge") not in GAUGE_MERGE_MODES:
+            problems.append(
+                f"gauge {key}: unknown merge mode {gauge.get('merge')!r} "
+                f"(expected one of {sorted(GAUGE_MERGE_MODES)})"
+            )
+
+    for key, hist in snapshot["histograms"].items():
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {key}: expected an object, got {hist!r}")
+            continue
+        bounds = hist.get("bounds")
+        counts = hist.get("counts")
+        if not isinstance(bounds, list) or not all(
+            isinstance(b, (int, float)) and not isinstance(b, bool) for b in bounds
+        ):
+            problems.append(f"histogram {key}: 'bounds' must be a list of numbers")
+            continue
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            problems.append(f"histogram {key}: bounds must be strictly increasing")
+        if not isinstance(counts, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in counts
+        ):
+            problems.append(f"histogram {key}: 'counts' must be non-negative integers")
+            continue
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"histogram {key}: expected {len(bounds) + 1} buckets "
+                f"(bounds + overflow), got {len(counts)}"
+            )
+        total = hist.get("count")
+        if sum(counts) != total:
+            problems.append(
+                f"histogram {key}: bucket counts sum to {sum(counts)} but count={total!r}"
+            )
+        if not isinstance(hist.get("sum"), (int, float)) or isinstance(hist.get("sum"), bool):
+            problems.append(f"histogram {key}: 'sum' must be a number")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", help="metrics.json written by a serve run")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="a metric key that must be present (repeatable; any section)",
+    )
+    parser.add_argument(
+        "--require-nonzero",
+        type=_csv,
+        default=None,
+        metavar="A,B,...",
+        help="at least ONE of these counters must be present and non-zero",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.snapshot)
+    try:
+        snapshot = json.loads(path.read_text())
+    except FileNotFoundError:
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+
+    problems = validate_snapshot(snapshot)
+    if not problems:
+        known = set()
+        for section in ("counters", "gauges", "histograms"):
+            known.update(snapshot[section])
+        for key in args.require:
+            if key not in known:
+                problems.append(f"required metric missing: {key}")
+        if args.require_nonzero:
+            counters = snapshot["counters"]
+            if not any(counters.get(key, 0) > 0 for key in args.require_nonzero):
+                problems.append(
+                    "expected at least one non-zero counter among: "
+                    + ", ".join(args.require_nonzero)
+                    + f" (saw {({k: counters.get(k, 0) for k in args.require_nonzero})})"
+                )
+
+    if problems:
+        for problem in problems:
+            print(f"INVALID {path}: {problem}", file=sys.stderr)
+        return 1
+    sections = {s: len(snapshot[s]) for s in ("counters", "gauges", "histograms")}
+    print(f"ok: {path} — " + ", ".join(f"{n} {s}" for s, n in sections.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -263,6 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --listen: max in-flight requests per user before busy "
         "frames (default 4)",
     )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a rolling JSON metrics snapshot here every "
+        "--metrics-interval seconds while serving (see docs/observability.md)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between --metrics-out snapshots (default 1.0)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip metrics export: no metrics.json, no metrics key in "
+        "serve_result.json (collection itself is always on and digest-neutral)",
+    )
 
     replay_cmd = subparsers.add_parser(
         "replay",
@@ -389,68 +409,76 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve_frontend(args: argparse.Namespace) -> int:
-    """The ``repro serve --listen`` path: a real TCP server until drained."""
-    import json
+def _prepare_serve_dirs(config, default_name: str, allow_temp_state: bool = True):
+    """Resolve the run/adapter/state directories for one serve invocation.
+
+    Returns ``(config, out_path, temporary_state)`` with the resolved paths
+    filled into the config.  Adapter and state directories left over from a
+    previous run into the same ``--out`` are reset (unless resuming) so a
+    rerun is deterministic.  A durable run with no run directory gets its
+    state in a temporary directory when ``allow_temp_state`` (the synthetic
+    load paths); the socket front-end skips that — with no ``--out`` it just
+    serves non-durably.
+    """
     import shutil
+    import tempfile
     from pathlib import Path
 
-    from repro.experiments.presets import get_scale
-    from repro.serve.errors import RetryPolicy
-    from repro.serve.faults import FaultPlan
-    from repro.serve.frontend import ServeFrontend, parse_listen
-
-    try:
-        host, port = parse_listen(args.listen)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    scale = get_scale(args.scale, seed=args.seed)
-    fault_plan = FaultPlan.from_env()
-    durable = args.state_dir is not None or args.resume
-
-    out_dir = args.out
-    if out_dir is None and not args.no_artifacts:
-        out_dir = f"runs/serve-frontend-{scale.name}-seed{args.seed}"
+    scale = config.resolved_scale()
+    out_dir = config.out_dir
+    if out_dir is None and not config.no_artifacts:
+        out_dir = Path(f"runs/{default_name}-{scale.name}-seed{config.seed}")
     adapter_dir = None
     out_path = None
     if out_dir is not None:
         out_path = Path(out_dir)
         out_path.mkdir(parents=True, exist_ok=True)
         adapter_dir = out_path / "adapters"
-        if adapter_dir.exists() and not args.resume:
+        if adapter_dir.exists() and not config.resume:
             shutil.rmtree(adapter_dir)
-    state_dir = Path(args.state_dir) if args.state_dir is not None else None
-    if durable and state_dir is None and out_path is not None:
-        state_dir = out_path / "state"
-    if state_dir is not None and state_dir.exists() and not args.resume:
+
+    temporary_state = None
+    state_dir = config.state_dir
+    if config.durable and state_dir is None:
+        if out_path is not None:
+            state_dir = out_path / "state"
+        elif allow_temp_state:
+            temporary_state = tempfile.TemporaryDirectory(prefix="repro-serve-state-")
+            state_dir = Path(temporary_state.name) / "state"
+    if state_dir is not None and state_dir.exists() and not config.resume:
         shutil.rmtree(state_dir)
 
-    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
-    frontend = ServeFrontend(
-        host=host,
-        port=port,
-        scale=scale,
-        seed=args.seed,
-        dataset=args.dataset,
-        pretrain_epochs=args.pretrain_epochs,
-        cache_capacity=args.cache_capacity,
-        max_batch_size=args.max_batch,
-        adapter_dir=adapter_dir,
-        state_dir=state_dir,
-        resume=args.resume,
-        fault_plan=fault_plan,
-        retry=retry,
-        deadline_seconds=args.deadline,
-        max_queue_depth=args.max_queue_depth,
-        max_inflight_per_user=args.max_inflight,
-        trace_path=args.trace_out,
-        port_file=args.port_file,
-        install_signal_handlers=True,
-        workers=args.workers,
-    )
+    config = config.with_(out_dir=out_path, adapter_dir=adapter_dir, state_dir=state_dir)
+    return config, out_path, temporary_state
+
+
+def _write_metrics_snapshot(out_path, metrics) -> None:
+    """Write the drained run's metrics next to serve_result.json."""
+    if metrics is None:
+        return
+    from repro.obs import write_snapshot
+    from repro.serve.config import METRICS_FILE
+
+    path = out_path / METRICS_FILE
+    write_snapshot(path, metrics)
+    print(f"metrics: {path}")
+
+
+def _command_serve_frontend(config) -> int:
+    """The ``repro serve --listen`` path: a real TCP server until drained."""
+    import json
+
+    from repro.serve.frontend import ServeFrontend
+
+    scale = config.resolved_scale()
+    config, out_path, _ = _prepare_serve_dirs(config, "serve-frontend", allow_temp_state=False)
+    try:
+        frontend = ServeFrontend(config)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     outcome = frontend.run()
-    print(f"== serve front-end (scale={scale.name}, seed={args.seed}) ==")
+    print(f"== serve front-end (scale={scale.name}, seed={config.seed}) ==")
     print(
         f"served {outcome.total_requests} request(s) "
         f"({outcome.chat_requests} chat / {outcome.personalize_requests} personalize) "
@@ -475,15 +503,16 @@ def _command_serve_frontend(args: argparse.Namespace) -> int:
     print(f"transcript digest: {outcome.transcript_digest}")
     if outcome.journal_digest is not None:
         print(f"journal digest: {outcome.journal_digest}")
-    if args.trace_out is not None:
-        print(f"trace: {args.trace_out}")
+    if config.trace_out is not None:
+        print(f"trace: {config.trace_out}")
     if out_path is not None:
         result_path = out_path / "serve_result.json"
         payload = outcome.to_dict()
         payload["scale"] = scale.name
-        payload["seed"] = args.seed
+        payload["seed"] = config.seed
         result_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"result: {result_path}")
+        _write_metrics_snapshot(out_path, outcome.metrics)
     if outcome.all_dead_lettered:
         print(
             "error: every request dead-lettered — the serving layer made no "
@@ -594,104 +623,48 @@ def _normalized_aggregate_digest(transcript) -> str:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.config import ServeConfig
+
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
     if not args.quiet:
         enable_console_logging()
-    if args.listen is not None:
-        return _command_serve_frontend(args)
+    # The one place serve argv becomes configuration; everything below (and
+    # every entry point) reads the typed config.
+    config = ServeConfig.from_args(args)
+    if config.listen is not None:
+        return _command_serve_frontend(config)
     for flag, name in (
-        (args.port_file, "--port-file"),
-        (args.trace_out, "--trace-out"),
+        (config.port_file, "--port-file"),
+        (config.trace_out, "--trace-out"),
     ):
         if flag is not None:
             print(f"error: {name} requires --listen", file=sys.stderr)
             return 2
-    if args.no_artifacts and args.out is not None:
+    if config.no_artifacts and config.out_dir is not None:
         print(
             "error: --out and --no-artifacts contradict each other "
             "(--no-artifacts writes nothing, including adapter files)",
             file=sys.stderr,
         )
         return 2
-    if args.workers > 1:
-        return _command_serve_sharded(args)
+    if config.workers > 1:
+        return _command_serve_sharded(config)
 
     import json
-    import shutil
-    import tempfile
-    from pathlib import Path
 
-    from repro.experiments.presets import get_scale
-    from repro.serve import LoadConfig, run_serve
-    from repro.serve.errors import RetryPolicy
-    from repro.serve.faults import FaultPlan, chaos_plan
+    from repro.serve import run_serve
 
-    scale = get_scale(args.scale, seed=args.seed)
-    load = LoadConfig(
-        num_users=args.users,
-        num_requests=args.requests,
-        dataset=args.dataset,
-        personalize_every=args.personalize_every,
-        seed=args.seed,
-    )
-    # Environment-armed crash plans (REPRO_CRASH_POINT et al.) take
-    # precedence over --chaos: that is how the kill/resume chaos test arms a
-    # hard SIGKILL inside this very process.
-    fault_plan = FaultPlan.from_env()
-    if fault_plan is None and args.chaos:
-        fault_plan = chaos_plan(args.seed, users=args.users)
-    durable = args.state_dir is not None or args.resume or fault_plan is not None
-
-    out_dir = args.out
-    if out_dir is None and not args.no_artifacts:
-        out_dir = f"runs/serve-{scale.name}-seed{args.seed}"
-    adapter_dir = None
-    out_path = None
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        adapter_dir = out_path / "adapters"
-        # Each fresh serve run starts from blank adapters: leftovers from a
-        # previous run into the same --out would silently seed users with
-        # trained weights and break the fixed-seed → fixed-digest guarantee.
-        # A --resume run keeps them — they ARE the state being resumed.
-        if adapter_dir.exists() and not args.resume:
-            shutil.rmtree(adapter_dir)
-
-    temporary_state = None
-    state_dir = Path(args.state_dir) if args.state_dir is not None else None
-    if durable and state_dir is None:
-        if out_path is not None:
-            state_dir = out_path / "state"
-        else:
-            temporary_state = tempfile.TemporaryDirectory(prefix="repro-serve-state-")
-            state_dir = Path(temporary_state.name) / "state"
-    if state_dir is not None and state_dir.exists() and not args.resume:
-        shutil.rmtree(state_dir)
-
-    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    scale = config.resolved_scale()
+    config, out_path, temporary_state = _prepare_serve_dirs(config, "serve")
     try:
-        outcome = run_serve(
-            load,
-            scale=scale,
-            adapter_dir=adapter_dir,
-            cache_capacity=args.cache_capacity,
-            max_batch_size=args.max_batch,
-            pretrain_epochs=args.pretrain_epochs,
-            state_dir=state_dir,
-            resume=args.resume,
-            fault_plan=fault_plan,
-            retry=retry,
-            deadline_seconds=args.deadline,
-            install_signal_handlers=True,
-        )
+        outcome = run_serve(config)
     finally:
         if temporary_state is not None:
             temporary_state.cleanup()
     report = outcome.report
-    print(f"== multi-tenant serve (scale={scale.name}, seed={args.seed}) ==")
+    print(f"== multi-tenant serve (scale={scale.name}, seed={config.seed}) ==")
     print(
         f"served {report.total_requests} requests "
         f"({report.chat_requests} chat / {report.personalize_requests} personalize) "
@@ -739,16 +712,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"faults injected: {injected or 'none'}")
     if outcome.journal_digest is not None:
         print(f"journal digest: {outcome.journal_digest}")
-    if out_dir is not None:
+    if out_path is not None:
         result_path = out_path / "serve_result.json"
         payload = report.to_dict()
         payload["scale"] = scale.name
-        payload["seed"] = args.seed
+        payload["seed"] = config.seed
         payload["load"] = {
-            "num_users": load.num_users,
-            "num_requests": load.num_requests,
-            "dataset": load.dataset,
-            "personalize_every": load.personalize_every,
+            "num_users": config.load.num_users,
+            "num_requests": config.load.num_requests,
+            "dataset": config.load.dataset,
+            "personalize_every": config.load.personalize_every,
         }
         payload["transcript"] = outcome.transcript
         payload["aggregate_digest"] = aggregate_digest
@@ -758,7 +731,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         payload["faults"] = outcome.faults
         result_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"result: {result_path}")
-        print(f"adapters: {adapter_dir}")
+        print(f"adapters: {config.adapter_dir}")
+        _write_metrics_snapshot(out_path, outcome.metrics)
     if report.total_requests > 0 and report.dead_letter_requests == report.total_requests:
         print(
             "error: every request dead-lettered — the serving layer made no "
@@ -769,76 +743,21 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve_sharded(args: argparse.Namespace) -> int:
+def _command_serve_sharded(config) -> int:
     """The ``repro serve --workers N`` path: consistent-hash sharded serving."""
     import json
-    import shutil
-    import tempfile
-    from pathlib import Path
 
-    from repro.experiments.presets import get_scale
-    from repro.serve import LoadConfig
-    from repro.serve.errors import RetryPolicy
-    from repro.serve.faults import FaultPlan, chaos_plan
     from repro.serve.shard import ShardPoolError, run_serve_sharded
 
-    scale = get_scale(args.scale, seed=args.seed)
-    load = LoadConfig(
-        num_users=args.users,
-        num_requests=args.requests,
-        dataset=args.dataset,
-        personalize_every=args.personalize_every,
-        seed=args.seed,
-    )
-    fault_plan = FaultPlan.from_env()
-    if fault_plan is None and args.chaos:
-        fault_plan = chaos_plan(args.seed, users=args.users)
-    durable = args.state_dir is not None or args.resume or fault_plan is not None
-
-    out_dir = args.out
-    if out_dir is None and not args.no_artifacts:
-        out_dir = f"runs/serve-{scale.name}-seed{args.seed}"
-    adapter_dir = None
-    out_path = None
-    if out_dir is not None:
-        out_path = Path(out_dir)
-        out_path.mkdir(parents=True, exist_ok=True)
-        adapter_dir = out_path / "adapters"
-        if adapter_dir.exists() and not args.resume:
-            shutil.rmtree(adapter_dir)
-
-    temporary_state = None
-    state_dir = Path(args.state_dir) if args.state_dir is not None else None
-    if durable and state_dir is None:
-        if out_path is not None:
-            state_dir = out_path / "state"
-        else:
-            temporary_state = tempfile.TemporaryDirectory(prefix="repro-serve-state-")
-            state_dir = Path(temporary_state.name) / "state"
-    if state_dir is not None and state_dir.exists() and not args.resume:
-        shutil.rmtree(state_dir)
-
-    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    scale = config.resolved_scale()
+    config, out_path, temporary_state = _prepare_serve_dirs(config, "serve")
     try:
-        outcome = run_serve_sharded(
-            load,
-            workers=args.workers,
-            scale=scale,
-            adapter_dir=adapter_dir,
-            cache_capacity=args.cache_capacity,
-            max_batch_size=args.max_batch,
-            pretrain_epochs=args.pretrain_epochs,
-            state_dir=state_dir,
-            resume=args.resume,
-            fault_plan=fault_plan,
-            retry=retry,
-            deadline_seconds=args.deadline,
-        )
+        outcome = run_serve_sharded(config)
     except ShardPoolError as error:
         print(f"error: {error}", file=sys.stderr)
-        if state_dir is not None and temporary_state is None:
+        if config.state_dir is not None and temporary_state is None:
             print(
-                f"the shard journals under {state_dir} are intact; "
+                f"the shard journals under {config.state_dir} are intact; "
                 "rerun with --resume to recover",
                 file=sys.stderr,
             )
@@ -847,7 +766,7 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
         if temporary_state is not None:
             temporary_state.cleanup()
     print(
-        f"== sharded multi-tenant serve (scale={scale.name}, seed={args.seed}, "
+        f"== sharded multi-tenant serve (scale={scale.name}, seed={config.seed}, "
         f"workers={outcome.num_workers}, mode={outcome.mode}) =="
     )
     print(
@@ -873,23 +792,24 @@ def _command_serve_sharded(args: argparse.Namespace) -> int:
         print(f"crash recovery: {outcome.restarts} in-shard restart(s)")
     if outcome.replayed_requests:
         print(f"crash recovery: {outcome.replayed_requests} fine-tune(s) rolled forward")
-    if out_dir is not None:
+    if out_path is not None:
         result_path = out_path / "serve_result.json"
         payload = outcome.to_dict()
         payload["scale"] = scale.name
-        payload["seed"] = args.seed
+        payload["seed"] = config.seed
         payload["load"] = {
-            "num_users": load.num_users,
-            "num_requests": load.num_requests,
-            "dataset": load.dataset,
-            "personalize_every": load.personalize_every,
+            "num_users": config.load.num_users,
+            "num_requests": config.load.num_requests,
+            "dataset": config.load.dataset,
+            "personalize_every": config.load.personalize_every,
         }
         # The single-scheduler result key, so digest-comparing tooling can
         # read either shape without caring about --workers.
         payload["transcript_digest"] = outcome.aggregate_digest
         result_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"result: {result_path}")
-        print(f"adapters: {adapter_dir}")
+        print(f"adapters: {config.adapter_dir}")
+        _write_metrics_snapshot(out_path, outcome.metrics)
     if outcome.all_dead_lettered:
         print(
             "error: every request dead-lettered — the serving layer made no "

@@ -50,6 +50,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: The named stages of the pipeline, in execution order.
 STAGES = ("ingest", "select", "annotate", "synthesize", "finetune", "evaluate")
 
+#: The timer-section names the stages measure themselves under (what
+#: :meth:`PipelineEngine.observe_stages` exports as ``stage_seconds``).
+STAGE_SECTIONS = (
+    "generation",
+    "selection",
+    "annotation",
+    "synthesis",
+    "finetune",
+    "evaluation",
+)
+
 
 # --------------------------------------------------------------------------- #
 # typed events
@@ -280,6 +291,22 @@ class PipelineEngine:
         # stream starts from its beginning.  Non-zero only mid-run or right
         # after a checkpoint restore.
         self._stream_cursor = 0
+
+    def observe_stages(self, metrics) -> None:
+        """Mirror per-stage seconds into a metrics registry's histograms.
+
+        ``metrics`` is a :class:`repro.obs.MetricsRegistry`; every timed
+        section lands in ``stage_seconds{stage=<name>}``.  The canonical
+        stages are pre-registered so a snapshot's key set does not depend
+        on which stages a particular workload happened to exercise.
+        """
+        for stage in STAGE_SECTIONS:
+            metrics.histogram("stage_seconds", stage=stage)
+
+        def observe(name: str, seconds: float) -> None:
+            metrics.histogram("stage_seconds", stage=name).observe(seconds)
+
+        self.timer.on_section = observe
 
     # -- run-progress state ------------------------------------------------- #
     @property

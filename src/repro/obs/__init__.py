@@ -1,0 +1,40 @@
+"""``repro.obs`` — lightweight observability for the serving stack.
+
+A dependency-free metrics registry (counters, gauges, histograms with
+fixed bucket bounds) plus per-stage timers, deterministic JSON snapshots
+and cross-shard snapshot merging.  See ``docs/observability.md`` for the
+metric catalog and snapshot schema.
+"""
+
+from repro.obs.export import PeriodicSnapshotter, write_snapshot
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    GAUGE_MERGE_MODES,
+    SNAPSHOT_SCHEMA_VERSION,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    metric_key,
+    observe_health,
+    snapshot_key_set,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "GAUGE_MERGE_MODES",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PeriodicSnapshotter",
+    "merge_snapshots",
+    "metric_key",
+    "observe_health",
+    "snapshot_key_set",
+    "write_snapshot",
+]

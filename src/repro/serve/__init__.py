@@ -27,7 +27,11 @@ subsystem splits into four parts —
   scale-out layer: consistent-hash routing over shared-nothing shard
   workers (``repro serve --workers N``) with a composable per-user
   transcript digest, and the checksummed ``A1`` binary adapter record
-  format with zero-copy mmap loading (see ``docs/scaling.md``).
+  format with zero-copy mmap loading (see ``docs/scaling.md``);
+* :mod:`repro.serve.config` — the typed :class:`ServeConfig` every entry
+  point accepts (the CLI parses argv into it exactly once), and
+  :mod:`repro.obs` — the dependency-free metrics registry the serving
+  layer reports into (see ``docs/observability.md``).
 """
 
 from repro.serve.adapter_codec import (
@@ -60,6 +64,7 @@ from repro.serve.errors import (
     TransientServingError,
 )
 from repro.serve.client import ClientError, ServeClient, drive_load, replay_trace_against
+from repro.serve.config import METRICS_FILE, ServeConfig
 from repro.serve.faults import (
     CRASH_POINTS,
     FaultInjector,
@@ -144,6 +149,7 @@ __all__ = [
     "LoRAAdapterStore",
     "LoadConfig",
     "MAX_FRAME_BYTES",
+    "METRICS_FILE",
     "PROTOCOL_VERSION",
     "PermanentServingError",
     "PersonalizeOutcome",
@@ -155,6 +161,7 @@ __all__ = [
     "RetryPolicy",
     "SchedulerBridge",
     "ServeClient",
+    "ServeConfig",
     "ServeFrontend",
     "ServeOutcome",
     "ServeReport",

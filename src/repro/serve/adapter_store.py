@@ -57,6 +57,7 @@ from repro.serve.adapter_codec import (
     pack_adapter_record,
     read_adapter_record,
 )
+from repro.obs import MetricsRegistry
 from repro.serve.errors import StoreIOError
 from repro.serve.faults import NO_FAULTS, FaultInjector
 from repro.serve.health import ComponentHealth
@@ -87,21 +88,49 @@ def validate_user_id(user_id: str) -> str:
     return user_id
 
 
-@dataclass
 class StoreStats:
-    """Cache / disk traffic counters of one :class:`LoRAAdapterStore`."""
+    """Cache / disk traffic counters of one :class:`LoRAAdapterStore`.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    disk_loads: int = 0
-    disk_writes: int = 0
-    deletes: int = 0
-    quarantined: int = 0
-    io_errors: int = 0
-    skipped_writes: int = 0
-    mmap_hits: int = 0
-    legacy_loads: int = 0
+    Every field is backed by a ``store_<field>_total`` counter on a
+    :class:`repro.obs.MetricsRegistry`, so the same counts feed this
+    report view, the wire-protocol ``metrics`` op and JSON snapshots —
+    there is exactly one source of truth.  The attribute API is kept
+    (``stats.hits``, ``stats.hits += 1``) so existing callers and tests
+    are unaffected.
+    """
+
+    FIELDS = (
+        "hits",
+        "misses",
+        "evictions",
+        "disk_loads",
+        "disk_writes",
+        "deletes",
+        "quarantined",
+        "io_errors",
+        "skipped_writes",
+        "mmap_hits",
+        "legacy_loads",
+    )
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self.__dict__["_counters"] = {
+            name: registry.counter(f"store_{name}_total") for name in self.FIELDS
+        }
+
+    def __getattr__(self, name: str) -> int:
+        # .get() keeps copy/pickle reconstruction safe before __init__ ran.
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: int) -> None:
+        counters = self.__dict__["_counters"]
+        if name not in counters:
+            raise AttributeError(f"StoreStats has no field {name!r}")
+        counters[name].set_(int(value))
 
     @property
     def hit_rate(self) -> float:
@@ -111,20 +140,9 @@ class StoreStats:
 
     def to_dict(self) -> Dict[str, float]:
         """JSON-ready view (used by the serving report)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "disk_loads": self.disk_loads,
-            "disk_writes": self.disk_writes,
-            "deletes": self.deletes,
-            "quarantined": self.quarantined,
-            "io_errors": self.io_errors,
-            "skipped_writes": self.skipped_writes,
-            "mmap_hits": self.mmap_hits,
-            "legacy_loads": self.legacy_loads,
-            "hit_rate": self.hit_rate,
-        }
+        view: Dict[str, float] = {name: getattr(self, name) for name in self.FIELDS}
+        view["hit_rate"] = self.hit_rate
+        return view
 
 
 @dataclass
@@ -161,6 +179,7 @@ class LoRAAdapterStore:
         cache_max_bytes: Optional[int] = None,
         faults: Optional[FaultInjector] = None,
         mmap_cache_capacity: Optional[int] = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if cache_capacity is not None and cache_capacity < 1:
             raise ValueError(f"cache_capacity must be >= 1 or None, got {cache_capacity}")
@@ -175,7 +194,8 @@ class LoRAAdapterStore:
         self.cache_capacity = cache_capacity
         self.cache_max_bytes = cache_max_bytes
         self.mmap_cache_capacity = mmap_cache_capacity
-        self.stats = StoreStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = StoreStats(self.metrics)
         self.faults = faults if faults is not None else NO_FAULTS
         self.health = ComponentHealth("adapter_store")
         #: In read-only mode every disk write is skipped (and counted) —

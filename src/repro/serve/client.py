@@ -45,6 +45,7 @@ from repro.serve.frontend import (
     OP_CHAT,
     OP_CONNECT,
     OP_HEALTH,
+    OP_METRICS,
     OP_PERSONALIZE,
     OP_SHUTDOWN,
     OP_STATS,
@@ -208,11 +209,18 @@ class ServeClient:
             raise ClientError(f"personalize refused: {frame.get('reason')}")
         return frame
 
+    async def metrics(self) -> dict:
+        """The unified observability frame (counters + health + snapshot)."""
+        frame, _ = await self._exchange({"op": OP_METRICS})
+        return frame
+
     async def stats(self) -> dict:
+        """Deprecated alias of :meth:`metrics` (same payload, frame ``stats``)."""
         frame, _ = await self._exchange({"op": OP_STATS})
         return frame
 
     async def health(self) -> dict:
+        """Deprecated alias of :meth:`metrics` (same payload, frame ``health``)."""
         frame, _ = await self._exchange({"op": OP_HEALTH})
         return frame
 

@@ -9,7 +9,9 @@ small newline-delimited JSON protocol —
   frames followed by a ``done`` frame;
 * ``personalize`` — feed annotated dialogue sets through the pipeline
   stages and fine-tune the user's adapter;
-* ``stats`` / ``health`` — serving counters and component health;
+* ``metrics`` — the versioned observability frame: serving counters,
+  component health and the full metrics-registry snapshot in one payload
+  (``stats`` and ``health`` are deprecated aliases carrying the same body);
 * ``bye`` / ``shutdown`` — close one connection / drain the whole server.
 
 The event loop never touches the model.  Accepted requests cross a
@@ -61,7 +63,9 @@ from repro.data.dialogue import DialogueSet
 from repro.data.lexicons import LexiconCollection, builtin_lexicons
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.llm.model import OnDeviceLLM
+from repro.obs import MetricsRegistry, PeriodicSnapshotter, merge_snapshots, observe_health
 from repro.serve.adapter_store import AdapterStoreError, LoRAAdapterStore, validate_user_id
+from repro.serve.config import ServeConfig, warn_legacy_call
 from repro.serve.errors import RetryPolicy, ServingError, TransientServingError
 from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.health import ComponentHealth, HealthRegistry
@@ -88,8 +92,12 @@ from repro.serve.scheduler import (
     RequestScheduler,
 )
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 SERVER_NAME = "repro-serve"
+
+#: Schema version of the unified ``metrics`` frame body (the payload the
+#: ``metrics`` op and its deprecated ``stats``/``health`` aliases share).
+METRICS_FRAME_SCHEMA = 1
 
 #: One frame (a newline-terminated JSON object) may be at most this long.
 MAX_FRAME_BYTES = 1 << 20
@@ -97,10 +105,12 @@ MAX_FRAME_BYTES = 1 << 20
 DEFAULT_MAX_QUEUE_DEPTH = 64
 DEFAULT_MAX_INFLIGHT_PER_USER = 4
 
-# Client -> server operations.
+# Client -> server operations.  ``stats`` and ``health`` are deprecated
+# aliases of ``metrics`` (same payload, frame kind echoes the op).
 OP_CONNECT = "connect"
 OP_CHAT = "chat"
 OP_PERSONALIZE = "personalize"
+OP_METRICS = "metrics"
 OP_STATS = "stats"
 OP_HEALTH = "health"
 OP_BYE = "bye"
@@ -113,6 +123,7 @@ FRAME_DONE = "done"
 FRAME_DEAD_LETTER = "dead_letter"
 FRAME_BUSY = "busy"
 FRAME_ERROR = "error"
+FRAME_METRICS = "metrics"
 FRAME_STATS = "stats"
 FRAME_HEALTH = "health"
 FRAME_BYE = "bye"
@@ -653,13 +664,22 @@ class _Connection:
         if kind in (OP_CHAT, OP_PERSONALIZE):
             self._dispatch_request(kind, client_id, op)
             return False
-        if kind == OP_STATS:
-            self.send_frame({"frame": FRAME_STATS, "id": client_id, **self.frontend.stats()})
-            return False
-        if kind == OP_HEALTH:
-            self.send_frame(
-                {"frame": FRAME_HEALTH, "id": client_id, **self.frontend.health_snapshot()}
-            )
+        if kind in (OP_METRICS, OP_STATS, OP_HEALTH):
+            # One payload for all three; the frame kind echoes the op so old
+            # clients still pattern-match on "stats"/"health".  Collecting
+            # the sharded snapshot crosses worker pipes, so it runs off the
+            # event loop.
+            frame_kind = {
+                OP_METRICS: FRAME_METRICS,
+                OP_STATS: FRAME_STATS,
+                OP_HEALTH: FRAME_HEALTH,
+            }[kind]
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, self.frontend.metrics_payload)
+            frame = {"frame": frame_kind, "id": client_id, **payload}
+            if kind != OP_METRICS:
+                frame["deprecated"] = True
+            self.send_frame(frame)
             return False
         if kind == OP_BYE:
             self.send_frame({"frame": FRAME_BYE, "id": client_id})
@@ -798,6 +818,8 @@ class FrontendOutcome:
     max_queue_depth_seen: int = 0
     health: Dict[str, dict] = field(default_factory=dict)
     transcript: List[dict] = field(default_factory=list)
+    #: Drained-state registry snapshot (None when metrics were disabled).
+    metrics: Optional[dict] = None
 
     @property
     def all_dead_lettered(self) -> bool:
@@ -826,6 +848,7 @@ class FrontendOutcome:
             "replayed_requests": self.replayed_requests,
             "max_queue_depth_seen": self.max_queue_depth_seen,
             "health": {name: dict(state) for name, state in self.health.items()},
+            "metrics": self.metrics,
             "transcript": list(self.transcript),
         }
 
@@ -842,7 +865,7 @@ class ServeFrontend:
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
+        config: Optional[Union[ServeConfig, str]] = None,
         port: int = 0,
         scale: Optional[ExperimentScale] = None,
         seed: int = 0,
@@ -866,7 +889,43 @@ class ServeFrontend:
         start_worker: bool = True,
         workers: int = 1,
         shard_mode: Optional[str] = None,
+        host: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        if isinstance(config, ServeConfig):
+            host = "127.0.0.1"
+            port = 0
+            if config.listen:
+                host, port = parse_listen(config.listen)
+            scale = config.scale
+            seed = config.seed
+            dataset = config.dataset
+            pretrain_epochs = config.pretrain_epochs
+            cache_capacity = config.cache_capacity
+            max_batch_size = config.max_batch_size
+            adapter_dir = config.adapter_dir
+            state_dir = config.state_dir
+            resume = config.resume
+            fault_plan = config.fault_plan
+            retry = config.retry
+            deadline_seconds = config.deadline_seconds
+            max_queue_depth = config.max_queue_depth
+            max_inflight_per_user = config.max_inflight_per_user
+            trace_path = config.trace_out
+            port_file = config.port_file
+            install_signal_handlers = config.install_signal_handlers
+            workers = config.workers
+            metrics_enabled = config.metrics_enabled
+            metrics_out = config.metrics_out
+            metrics_interval = config.metrics_interval_seconds
+        else:
+            # Legacy keyword-style construction: the old first positional
+            # parameter was ``host``, so a string (or None) lands here.
+            warn_legacy_call("ServeFrontend")
+            host = config if isinstance(config, str) else (host or "127.0.0.1")
+            metrics_enabled = True
+            metrics_out = None
+            metrics_interval = 1.0
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.host = host
@@ -893,6 +952,10 @@ class ServeFrontend:
         self.start_worker = start_worker
         self.workers = workers
         self.shard_mode = shard_mode
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics_enabled = metrics_enabled
+        self.metrics_out = Path(metrics_out) if metrics_out is not None else None
+        self.metrics_interval_seconds = metrics_interval
 
         self.bridge: Optional[Union[SchedulerBridge, ShardedBridge]] = None
         self.scheduler: Optional[RequestScheduler] = None
@@ -948,7 +1011,10 @@ class ServeFrontend:
             self._temporary = None
 
         store = LoRAAdapterStore(
-            self.adapter_dir, cache_capacity=self.cache_capacity, faults=faults
+            self.adapter_dir,
+            cache_capacity=self.cache_capacity,
+            faults=faults,
+            metrics=self.metrics,
         )
         self.manager = make_session_manager(
             self.llm,
@@ -962,7 +1028,8 @@ class ServeFrontend:
             past = replay(journal_path)
             next_request_id = past.next_request_id
             commit_seq = restore_shared_streams(checkpoint_root, self.llm)
-            self.journal = RequestJournal(journal_path)
+            self.journal = RequestJournal(journal_path, metrics=self.metrics)
+            self.journal.observe_replay(past)
             if past.dropped_records:
                 self.journal.health.degrade(
                     f"dropped {past.dropped_records} corrupt journal record(s) on replay"
@@ -982,6 +1049,7 @@ class ServeFrontend:
             deadline_seconds=self.deadline_seconds,
             commit_seq_start=commit_seq,
             next_request_id_start=next_request_id,
+            metrics=self.metrics,
         )
         self.bridge = SchedulerBridge(
             self.scheduler,
@@ -1096,38 +1164,21 @@ class ServeFrontend:
 
     # -- live introspection -------------------------------------------- #
     def stats(self) -> dict:
-        """The ``stats`` frame body (advisory while traffic is in flight)."""
-        if self.scheduler is None:
-            return self._stats_sharded()
-        transcript = list(self.scheduler.transcript)
-        dead = sum(1 for entry in transcript if entry.get("dead_letter"))
-        return {
-            "served": {
-                "total": len(transcript),
-                "chat": sum(
-                    1
-                    for e in transcript
-                    if e.get("kind") == CHAT and not e.get("dead_letter")
-                ),
-                "personalize": sum(
-                    1
-                    for e in transcript
-                    if e.get("kind") == PERSONALIZE and not e.get("dead_letter")
-                ),
-                "dead_letter": dead,
-            },
-            "pending": self.scheduler.pending_count,
-            "inflight": self.bridge.inflight_total,
-            "busy_rejections": self.bridge.busy_rejections,
-            "queue_depths": self.scheduler.queue_depths(),
-            "draining": self.draining,
-            "transcript_digest": self.bridge.transcript_digest(),
-        }
+        """The serving-counter half of the ``metrics`` frame body.
 
-    def _stats_sharded(self) -> dict:
-        """Sharded ``stats``: queue depths live inside the workers, so the
-        pool-level view reports the merged transcript and bridge counters."""
-        transcript = self.bridge.normalized_entries()
+        One schema for both topologies: the single-scheduler and sharded
+        paths return the same key set (``workers`` is always present,
+        ``queue_depths`` is empty when the queues live inside shard
+        workers), so dashboards never branch on deployment shape.
+        """
+        if self.scheduler is None:
+            transcript = self.bridge.normalized_entries()
+            pending = self.bridge.inflight_total
+            queue_depths: dict = {}
+        else:
+            transcript = list(self.scheduler.transcript)
+            pending = self.scheduler.pending_count
+            queue_depths = self.scheduler.queue_depths()
         dead = sum(1 for entry in transcript if entry.get("dead_letter"))
         return {
             "served": {
@@ -1144,14 +1195,40 @@ class ServeFrontend:
                 ),
                 "dead_letter": dead,
             },
-            "pending": self.bridge.inflight_total,
+            "pending": pending,
             "inflight": self.bridge.inflight_total,
             "busy_rejections": self.bridge.busy_rejections,
-            "queue_depths": {},
+            "queue_depths": queue_depths,
             "workers": self.workers,
             "draining": self.draining,
             "transcript_digest": self.bridge.transcript_digest(),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """The registry snapshot (merged across shards when ``workers > 1``).
+
+        Either way the frontend-owned components' health is folded in first,
+        so single and sharded snapshots expose the same key-set.
+        """
+        observe_health(self.metrics, self.health_snapshot()["components"])
+        if self.scheduler is None and self.bridge is not None:
+            return merge_snapshots([self.bridge.pool.merged_metrics(), self.metrics.snapshot()])
+        return self.metrics.snapshot()
+
+    def metrics_payload(self) -> dict:
+        """The versioned body the ``metrics`` op (and its aliases) returns.
+
+        A strict superset of the pre-v2 ``stats`` and ``health`` bodies, so
+        the deprecated ops keep satisfying their old consumers while new
+        ones read the ``metrics`` snapshot from the same frame.
+        """
+        payload = dict(self.stats())
+        payload.update(self.health_snapshot())
+        payload["metrics"] = self.metrics_snapshot()
+        payload["schema"] = METRICS_FRAME_SCHEMA
+        payload["server"] = SERVER_NAME
+        payload["protocol"] = PROTOCOL_VERSION
+        return payload
 
     def health_snapshot(self) -> dict:
         if self.scheduler is None:
@@ -1201,6 +1278,14 @@ class ServeFrontend:
                     "max_batch_size": self.max_batch_size,
                 },
             )
+        snapshotter: Optional[PeriodicSnapshotter] = None
+        if self.metrics_enabled and self.metrics_out is not None:
+            snapshotter = PeriodicSnapshotter(
+                self.metrics,
+                self.metrics_out,
+                self.metrics_interval_seconds,
+                snapshot_fn=self.metrics_snapshot,
+            ).start()
         start = time.perf_counter()
         try:
             asyncio.run(self._serve())
@@ -1209,6 +1294,8 @@ class ServeFrontend:
             self._flush_tolerantly()
             if self.journal is not None:
                 self.journal.close()
+            if snapshotter is not None:
+                snapshotter.stop()
         self.outcome = self._make_outcome(elapsed)
         if self.recorder is not None:
             self.recorder.record_summary(
@@ -1319,6 +1406,7 @@ class ServeFrontend:
             max_queue_depth_seen=self.bridge.max_depth_seen,
             health=health,
             transcript=ordered,
+            metrics=self.metrics_snapshot() if self.metrics_enabled else None,
         )
 
     def _make_outcome_sharded(self, elapsed: float) -> FrontendOutcome:
@@ -1371,6 +1459,7 @@ class ServeFrontend:
             max_queue_depth_seen=self.bridge.max_depth_seen,
             health=health,
             transcript=ordered,
+            metrics=self.metrics_snapshot() if self.metrics_enabled else None,
         )
 
 

@@ -126,3 +126,16 @@ class HealthRegistry:
                 name: health.to_dict() for name, health in sorted(self._components.items())
             },
         }
+
+    def observe(self, metrics) -> None:
+        """Export every component's state as a ``health_state`` gauge.
+
+        ``metrics`` is a :class:`repro.obs.MetricsRegistry`; the gauge value
+        is the state's severity (0 ok / 1 degraded / 2 failed), merged with
+        ``max`` across shards so a degraded worker shows through the pool.
+        """
+        from repro.obs import observe_health
+
+        observe_health(
+            metrics, {name: health.to_dict() for name, health in self._components.items()}
+        )

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.data.dialogue import DialogueSet
+from repro.obs import MetricsRegistry
 from repro.serve.errors import ServingError
 from repro.serve.health import ComponentHealth
 from repro.serve.scheduler import ChatRequest, PersonalizeRequest, Request
@@ -240,13 +241,28 @@ class RequestJournal:
     suite exercises (SIGKILL, not power loss).
     """
 
-    def __init__(self, path: Union[str, Path], fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.health = ComponentHealth("journal")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._handle = self.path.open("a", encoding="utf-8")
-        self.appended = 0
+        self._appends = self.metrics.counter("journal_appends_total")
+        # Replay counters are registered up front so snapshot key sets do
+        # not depend on whether this process ever had to recover.
+        for name in (
+            "journal_replayed_records_total",
+            "journal_dropped_records_total",
+            "journal_replayed_pending_total",
+            "journal_torn_tails_total",
+        ):
+            self.metrics.counter(name)
 
     # -- writing ------------------------------------------------------- #
     def append(self, record: dict) -> None:
@@ -254,7 +270,20 @@ class RequestJournal:
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
-        self.appended += 1
+        self._appends.inc()
+
+    @property
+    def appended(self) -> int:
+        """Records appended by this writer (registry-backed count)."""
+        return self._appends.value
+
+    def observe_replay(self, result: JournalReplay) -> None:
+        """Fold what a recovery replay saw into the journal counters."""
+        self.metrics.counter("journal_replayed_records_total").inc(result.records)
+        self.metrics.counter("journal_dropped_records_total").inc(result.dropped_records)
+        self.metrics.counter("journal_replayed_pending_total").inc(len(result.pending))
+        if result.torn_tail:
+            self.metrics.counter("journal_torn_tails_total").inc()
 
     def record_meta(self, meta: dict) -> None:
         self.append({"kind": "meta", **meta})

@@ -32,7 +32,9 @@ from repro.data.lexicons import LexiconCollection, builtin_lexicons
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.llm.generation import GenerationConfig
 from repro.llm.model import OnDeviceLLM
+from repro.obs import MetricsRegistry, PeriodicSnapshotter
 from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.config import ServeConfig, warn_legacy_call
 from repro.serve.errors import RetryPolicy, TransientServingError
 from repro.serve.faults import FaultInjector, FaultPlan, InjectedCrash
 from repro.serve.journal import (
@@ -66,6 +68,8 @@ class ServeOutcome:
     #: rolled forward without re-applying (the exactly-once path).
     replayed_requests: int = 0
     faults: Optional[dict] = None
+    #: Drained-state metrics snapshot (None when metrics were disabled).
+    metrics: Optional[dict] = None
 
     @property
     def digest(self) -> str:
@@ -250,7 +254,7 @@ def roll_forward(
 # the entry point
 # ---------------------------------------------------------------------- #
 def run_serve(
-    load: LoadConfig,
+    load: Union[LoadConfig, ServeConfig],
     scale: Optional[ExperimentScale] = None,
     adapter_dir: Optional[Union[str, Path]] = None,
     cache_capacity: Optional[int] = 4,
@@ -266,13 +270,25 @@ def run_serve(
     fsync: bool = False,
     max_restarts: int = 8,
     install_signal_handlers: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ServeOutcome:
     """Serve one synthetic workload end to end; returns the outcome.
 
+    The first argument is a :class:`~repro.serve.config.ServeConfig` — the
+    typed description of the whole run.  Passing a bare
+    :class:`~repro.serve.loadgen.LoadConfig` plus individual keyword
+    arguments is the deprecated pre-config calling convention: it still
+    works for one release (a :class:`DeprecationWarning` is emitted) and
+    builds the equivalent config internally.
+
+    Runtime objects stay keywords in both styles: pass ``llm`` to reuse an
+    already-built base model (the benchmark does this to compare policies
+    on identical weights), ``lexicons`` to override the built-ins, and
+    ``metrics`` to aggregate several runs into one registry.
+
     With ``adapter_dir`` unset the adapter files live in a temporary
     directory that is discarded after the run (the report keeps the store
-    statistics).  Pass ``llm`` to reuse an already-built base model — the
-    benchmark does this to compare scheduling policies on identical weights.
+    statistics).
 
     With ``state_dir`` the run is durable (journal + per-user checkpoints
     under that directory, adapters in ``<state_dir>/adapters`` unless
@@ -284,38 +300,102 @@ def run_serve(
     model's runtime state; a hard crash (``SIGKILL``) needs a new process
     calling back with ``resume=True``.
     """
-    scale = scale or get_scale("smoke", seed=load.seed)
+    if isinstance(load, ServeConfig):
+        config = load
+    else:
+        warn_legacy_call("run_serve")
+        config = ServeConfig(
+            load=load,
+            scale=scale,
+            adapter_dir=None if adapter_dir is None else Path(adapter_dir),
+            cache_capacity=cache_capacity,
+            max_batch_size=max_batch_size,
+            pretrain_epochs=pretrain_epochs,
+            state_dir=None if state_dir is None else Path(state_dir),
+            resume=resume,
+            fault_plan=fault_plan,
+            retry=retry,
+            deadline_seconds=deadline_seconds,
+            fsync=fsync,
+            max_restarts=max_restarts,
+            install_signal_handlers=install_signal_handlers,
+        )
+    return _run_serve(config, lexicons=lexicons, llm=llm, metrics=metrics)
+
+
+def _run_serve(
+    config: ServeConfig,
+    lexicons: Optional[LexiconCollection] = None,
+    llm: Optional[OnDeviceLLM] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> ServeOutcome:
+    load = config.load
+    scale = config.resolved_scale()
     lexicons = lexicons or builtin_lexicons()
+    fault_plan = config.fault_plan
     faults = FaultInjector(fault_plan) if fault_plan is not None else None
+    registry = metrics if metrics is not None else MetricsRegistry()
     if llm is None:
         llm = build_serving_llm(
             scale,
             dataset=load.dataset,
             seed=load.seed,
             lexicons=lexicons,
-            pretrain_epochs=pretrain_epochs,
+            pretrain_epochs=config.pretrain_epochs,
         )
     generation = serving_generation_config(llm, scale)
 
-    if state_dir is None:
+    snapshotter: Optional[PeriodicSnapshotter] = None
+    if config.metrics_enabled and config.metrics_out is not None:
+        snapshotter = PeriodicSnapshotter(
+            registry, config.metrics_out, config.metrics_interval_seconds
+        ).start()
+    try:
+        outcome = _serve_with_config(config, scale, lexicons, faults, registry, llm, generation)
+    finally:
+        if snapshotter is not None:
+            snapshotter.stop()
+    if config.metrics_enabled:
+        outcome.metrics = registry.snapshot()
+    return outcome
+
+
+def _serve_with_config(
+    config: ServeConfig,
+    scale: ExperimentScale,
+    lexicons: LexiconCollection,
+    faults: Optional[FaultInjector],
+    registry: MetricsRegistry,
+    llm: OnDeviceLLM,
+    generation: GenerationConfig,
+) -> ServeOutcome:
+    load = config.load
+    fault_plan = config.fault_plan
+    if config.state_dir is None:
         if fault_plan is not None and fault_plan.crash_point is not None:
             raise ValueError("crash injection requires a state_dir to recover from")
         temporary: Optional[tempfile.TemporaryDirectory] = None
-        if adapter_dir is None:
+        if config.adapter_dir is None:
             temporary = tempfile.TemporaryDirectory(prefix="repro-adapters-")
             store_dir = Path(temporary.name)
         else:
-            store_dir = Path(adapter_dir)
+            store_dir = Path(config.adapter_dir)
         try:
-            store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity, faults=faults)
+            store = LoRAAdapterStore(
+                store_dir,
+                cache_capacity=config.cache_capacity,
+                faults=faults,
+                metrics=registry,
+            )
             manager = make_session_manager(llm, store, scale, seed=load.seed, lexicons=lexicons)
             scheduler = RequestScheduler(
                 manager,
-                max_batch_size=max_batch_size,
+                max_batch_size=config.max_batch_size,
                 generation=generation,
                 faults=faults,
-                retry=retry,
-                deadline_seconds=deadline_seconds,
+                retry=config.retry,
+                deadline_seconds=config.deadline_seconds,
+                metrics=registry,
             )
             scheduler.submit_many(generate_load(load, lexicons=lexicons))
             report = scheduler.run()
@@ -333,12 +413,14 @@ def run_serve(
     # ------------------------------------------------------------------ #
     # durable serving
     # ------------------------------------------------------------------ #
-    state_path = Path(state_dir)
+    state_path = Path(config.state_dir)
     state_path.mkdir(parents=True, exist_ok=True)
     journal_path = state_path / JOURNAL_FILE
     checkpoint_root = state_path / "sessions"
-    store_dir = Path(adapter_dir) if adapter_dir is not None else state_path / "adapters"
-    if journal_path.exists() and not resume:
+    store_dir = (
+        Path(config.adapter_dir) if config.adapter_dir is not None else state_path / "adapters"
+    )
+    if journal_path.exists() and not config.resume:
         raise JournalError(
             f"journal already exists at {journal_path}; pass resume=True to replay it"
         )
@@ -347,7 +429,12 @@ def run_serve(
     restarts = 0
     replayed_total = 0
     while True:
-        store = LoRAAdapterStore(store_dir, cache_capacity=cache_capacity, faults=faults)
+        store = LoRAAdapterStore(
+            store_dir,
+            cache_capacity=config.cache_capacity,
+            faults=faults,
+            metrics=registry,
+        )
         manager = make_session_manager(
             llm, store, scale, seed=load.seed, lexicons=lexicons, checkpoint_root=checkpoint_root
         )
@@ -357,20 +444,24 @@ def run_serve(
             # RNG streams as a freshly started server.
             runtime_snapshot = llm.export_runtime_state()
         commit_seq = restore_shared_streams(checkpoint_root, llm)
-        journal = RequestJournal(journal_path, fsync=fsync)
+        journal = RequestJournal(journal_path, fsync=config.fsync, metrics=registry)
         scheduler = RequestScheduler(
             manager,
-            max_batch_size=max_batch_size,
+            max_batch_size=config.max_batch_size,
             generation=generation,
             journal=journal,
             faults=faults,
-            retry=retry,
-            deadline_seconds=deadline_seconds,
+            retry=config.retry,
+            deadline_seconds=config.deadline_seconds,
             commit_seq_start=commit_seq,
+            metrics=registry,
         )
-        restore_handlers = _install_stop_handlers(scheduler) if install_signal_handlers else None
+        restore_handlers = (
+            _install_stop_handlers(scheduler) if config.install_signal_handlers else None
+        )
         try:
             past = replay(journal_path)
+            journal.observe_replay(past)
             _check_journal_meta(past, load)
             if past.dropped_records:
                 journal.health.degrade(
@@ -392,9 +483,10 @@ def run_serve(
         except InjectedCrash:
             journal.close()
             restarts += 1
-            if restarts > max_restarts:
+            registry.counter("serve_restarts_total").inc()
+            if restarts > config.max_restarts:
                 raise RuntimeError(
-                    f"gave up after {max_restarts} injected-crash restarts"
+                    f"gave up after {config.max_restarts} injected-crash restarts"
                 ) from None
             llm.load_runtime_state(runtime_snapshot)
         finally:

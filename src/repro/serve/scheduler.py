@@ -67,6 +67,7 @@ import numpy as np
 
 from repro.data.dialogue import DialogueSet
 from repro.llm.generation import GenerationConfig
+from repro.obs import COUNT_BUCKETS, MetricsRegistry, observe_health
 from repro.serve.errors import (
     DeadlineExceededError,
     RetryPolicy,
@@ -184,6 +185,7 @@ class RequestScheduler:
         deadline_seconds: Optional[float] = None,
         commit_seq_start: int = 0,
         next_request_id_start: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -223,14 +225,56 @@ class RequestScheduler:
         self.transcript: List[dict] = []
         self.turns: List[ServeTurn] = []
         self.dead_letters: List[dict] = []
-        self.retries = 0
-        self.degraded_chats = 0
+        # The whole catalog is registered up front so a snapshot's key set
+        # is a property of the code, not of which code paths traffic
+        # happened to exercise — sharded and single-worker snapshots agree.
+        # Prefer the store's registry so one registry spans the run.
+        self.metrics = (
+            metrics if metrics is not None else sessions.store.metrics
+        )
+        self._retries_counter = self.metrics.counter("serve_retries_total")
+        self._degraded_counter = self.metrics.counter("serve_degraded_total")
+        self._dead_letter_counter = self.metrics.counter("serve_dead_letters_total")
+        self._tokens_counter = self.metrics.counter("tokens_generated_total")
+        self._runs_counter = self.metrics.counter("serve_runs_total")
+        # Incremented by the runner/shard restart loops, pre-registered here
+        # so the key exists even in runs that never crash.
+        self.metrics.counter("serve_restarts_total")
+        for kind in (CHAT, PERSONALIZE):
+            self.metrics.counter("serve_requests_total", kind=kind)
+            self.metrics.histogram("turn_seconds", kind=kind)
+        self.metrics.histogram("swap_seconds")
+        self.metrics.histogram("batch_occupancy", buckets=COUNT_BUCKETS)
+        self.metrics.histogram("queue_depth", buckets=COUNT_BUCKETS)
+        self.metrics.gauge("pending_requests", merge="sum")
+        self.metrics.gauge("tokens_per_second", merge="sum")
+        self.metrics.gauge("requests_per_second", merge="sum")
+        observe_health(self.metrics, self.health_report())
         # Backoff jitter draws from a dedicated seeded stream so retrying
         # never perturbs any model RNG — transcripts stay digest-identical
         # whether or not a run needed retries.
         self._retry_rng = np.random.default_rng(
             zlib.crc32(b"retry-jitter") ^ (sessions.seed & 0x7FFFFFFF)
         )
+
+    # Retry / degradation counts live on the metrics registry so the same
+    # numbers feed reports, the wire-protocol ops and JSON snapshots; the
+    # attribute API (`scheduler.retries += 1`) is kept for compatibility.
+    @property
+    def retries(self) -> int:
+        return self._retries_counter.value
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self._retries_counter.set_(int(value))
+
+    @property
+    def degraded_chats(self) -> int:
+        return self._degraded_counter.value
+
+    @degraded_chats.setter
+    def degraded_chats(self, value: int) -> None:
+        self._degraded_counter.set_(int(value))
 
     # ------------------------------------------------------------------ #
     # submission
@@ -328,6 +372,7 @@ class RequestScheduler:
         dead_letters_start = len(self.dead_letters)
         retries_start = self.retries
         degraded_start = self.degraded_chats
+        tokens_start = self._tokens_counter.value
         store_before = self.sessions.store.stats.to_dict()
         chat_count = 0
         personalize_count = 0
@@ -363,6 +408,17 @@ class RequestScheduler:
                 kind = PERSONALIZE
                 request_ids = [request.request_id]
                 personalize_count += 1
+            turn_seconds = time.perf_counter() - turn_start
+            self.metrics.counter("serve_requests_total", kind=kind).inc(len(request_ids))
+            self.metrics.histogram("turn_seconds", kind=kind).observe(turn_seconds)
+            self.metrics.histogram("batch_occupancy", buckets=COUNT_BUCKETS).observe(
+                len(request_ids)
+            )
+            if swap_seconds > 0.0:
+                self.metrics.histogram("swap_seconds").observe(swap_seconds)
+            self.metrics.histogram("queue_depth", buckets=COUNT_BUCKETS).observe(
+                self.pending_count
+            )
             self.turns.append(
                 ServeTurn(
                     index=len(self.turns),
@@ -371,7 +427,7 @@ class RequestScheduler:
                     request_ids=request_ids,
                     batch_size=len(request_ids),
                     swap_seconds=swap_seconds,
-                    seconds=time.perf_counter() - turn_start,
+                    seconds=turn_seconds,
                 )
             )
             # Strict round-robin: move past the user just served so one heavy
@@ -403,6 +459,16 @@ class RequestScheduler:
         }
         run_lookups = store_stats["hits"] + store_stats["misses"]
         store_stats["hit_rate"] = store_stats["hits"] / run_lookups if run_lookups else 0.0
+        self._runs_counter.inc()
+        self.metrics.gauge("pending_requests", merge="sum").set(self.pending_count)
+        self.metrics.gauge("requests_per_second", merge="sum").set(
+            total / elapsed if elapsed > 0 else 0.0
+        )
+        run_tokens = self._tokens_counter.value - tokens_start
+        self.metrics.gauge("tokens_per_second", merge="sum").set(
+            run_tokens / elapsed if elapsed > 0 else 0.0
+        )
+        observe_health(self.metrics, self.health_report())
         return ServeReport(
             total_requests=total,
             chat_requests=chat_count,
@@ -461,6 +527,7 @@ class RequestScheduler:
             "reason": str(error),
         }
         self.dead_letters.append(entry)
+        self._dead_letter_counter.inc()
         if self.journal is not None:
             self.journal.record_dead_letter(entry)
         # Emit *after* journaling: once a listener (the socket front-end)
@@ -530,6 +597,9 @@ class RequestScheduler:
                 self._dead_letter(request, CHAT, error)
             return 0.0
         self.faults.crash_point("chat.after_serve")
+        # The tokenizer is word-level, so response word counts are the
+        # generated-token tally behind the tokens/sec gauge.
+        self._tokens_counter.inc(sum(len(response.split()) for response in responses))
         entries = []
         for request, response in zip(batch, responses):
             entry = {

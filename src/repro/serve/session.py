@@ -43,6 +43,7 @@ from repro.llm.finetune import FineTuneConfig, FineTuneReport
 from repro.llm.generation import GenerationConfig
 from repro.llm.model import OnDeviceLLM
 from repro.nn.lora import LoRAConfig, clone_lora_state
+from repro.obs import MetricsRegistry
 from repro.serve.adapter_store import LoRAAdapterStore, validate_user_id
 from repro.serve.errors import TransientServingError
 from repro.serve.health import ComponentHealth
@@ -155,12 +156,17 @@ class SessionManager:
         framework_config_factory: Optional[Callable[[int], FrameworkConfig]] = None,
         seed: int = 0,
         checkpoint_root: Optional[Union[str, Path]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.llm = llm
         self.store = store
         self.lexicons = lexicons or builtin_lexicons()
         self.generation = generation
         self.seed = seed
+        # Sharing the store's registry by default keeps every serving metric
+        # (cache traffic, swap latency, pipeline stage timings) in one
+        # snapshot without each construction site threading it through.
+        self.metrics = metrics if metrics is not None else store.metrics
         #: With a checkpoint root set, every user's engine state is persisted
         #: after each personalize round (manifest-last, so the write is the
         #: atomic commit point) and restored on first touch after a restart.
@@ -284,6 +290,7 @@ class SessionManager:
                 config=self._framework_config_factory(seed),
                 lexicons=self.lexicons,
             )
+            framework.engine.observe_stages(self.metrics)
             session = UserSession(user_id=user_id, seed=seed, framework=framework)
             self._sessions[user_id] = session
             if self.checkpoint_root is not None:

@@ -48,7 +48,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.data.lexicons import LexiconCollection, builtin_lexicons
 from repro.experiments.presets import ExperimentScale, get_scale
 from repro.llm.model import OnDeviceLLM
+from repro.obs import MetricsRegistry, PeriodicSnapshotter, merge_snapshots
 from repro.serve.adapter_store import LoRAAdapterStore
+from repro.serve.config import ServeConfig, warn_legacy_call
 from repro.serve.errors import RetryPolicy
 from repro.serve.faults import FaultInjector, FaultPlan, InjectedCrash
 from repro.serve.frontend import normalize_entry
@@ -219,6 +221,10 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
     faults = FaultInjector(config.fault_plan) if config.fault_plan is not None else None
     lexicons = builtin_lexicons()
     generation = serving_generation_config(llm, config.scale)
+    # One registry per worker, created *outside* the restart loop so counts
+    # accumulate across injected-crash restarts exactly like the single-
+    # worker runner's durable loop.  The pool merges these at drain.
+    registry = MetricsRegistry()
 
     durable = config.state_dir is not None
     if durable:
@@ -264,13 +270,11 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
     restarts = 0
     replayed_total = 0
     dead_letters_total = 0
-    degraded_total = 0
-    retries_total = 0
 
     while True:  # injected-soft-crash restart loop
         seqs.clear()
         store = LoRAAdapterStore(
-            store_dir, cache_capacity=config.cache_capacity, faults=faults
+            store_dir, cache_capacity=config.cache_capacity, faults=faults, metrics=registry
         )
         manager = make_session_manager(
             llm,
@@ -287,7 +291,7 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
         past = None
         if durable:
             commit_seq = restore_shared_streams(checkpoint_root, llm)
-            journal = RequestJournal(journal_path, fsync=config.fsync)
+            journal = RequestJournal(journal_path, fsync=config.fsync, metrics=registry)
         scheduler = RequestScheduler(
             manager,
             max_batch_size=config.max_batch_size,
@@ -297,12 +301,14 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
             retry=config.retry,
             deadline_seconds=config.deadline_seconds,
             commit_seq_start=commit_seq,
+            metrics=registry,
         )
         scheduler.entry_listener = emit
         try:
             replayed: Dict[int, dict] = {}
             if durable:
                 past = replay(journal_path)
+                journal.observe_replay(past)
                 _check_journal_meta(past, config.load)
                 if past.dropped_records:
                     journal.health.degrade(
@@ -382,13 +388,13 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
                     scheduler.run()
                     batch_start = None
                     serve_seconds += time.perf_counter() - started
+                elif message[0] == "metrics":
+                    conn.send(("metrics", registry.snapshot()))
                 elif message[0] == "drain":
                     drain_requested = True
                 else:  # pragma: no cover - protocol misuse
                     raise ValueError(f"unknown shard command {message[0]!r}")
             dead_letters_total += len(scheduler.dead_letters)
-            degraded_total += scheduler.degraded_chats
-            retries_total += scheduler.retries
             _flush_tolerantly(manager)
             if journal is not None:
                 journal.close()
@@ -407,23 +413,25 @@ def _shard_worker_serve(conn, config: ShardWorkerConfig, llm: OnDeviceLLM) -> No
                 "replayed_requests": replayed_total,
                 "restarts": restarts,
                 "dead_letter_requests": dead_letters_total,
-                "degraded_chat_requests": degraded_total,
-                "retries": retries_total,
+                # Registry-backed counters already accumulate across the
+                # restart loop, so the final scheduler's view is the total.
+                "degraded_chat_requests": scheduler.degraded_chats,
+                "retries": scheduler.retries,
                 "serve_seconds": serve_seconds,
                 "entry_latencies": latencies,
                 "store": store.stats.to_dict(),
                 "health": scheduler.health_report(),
+                "metrics": registry.snapshot(),
             }
             conn.send(("done", summary))
             return
         except InjectedCrash:
             batch_start = None
             dead_letters_total += len(scheduler.dead_letters)
-            degraded_total += scheduler.degraded_chats
-            retries_total += scheduler.retries
             if journal is not None:
                 journal.close()
             restarts += 1
+            registry.counter("serve_restarts_total").inc()
             if restarts > config.max_restarts:
                 raise RuntimeError(
                     f"shard {config.index} gave up after {config.max_restarts} "
@@ -450,6 +458,11 @@ class _Worker:
     ready_info: Optional[dict] = None
     summary: Optional[dict] = None
     error: Optional[str] = None
+    # Pipe sends can come from different threads (the submit path and the
+    # metrics poller), and interleaved sends corrupt the stream.
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    metrics_ready: threading.Event = field(default_factory=threading.Event)
+    metrics_snapshot: Optional[dict] = None
 
 
 def default_worker_mode() -> str:
@@ -512,6 +525,7 @@ class ShardPool:
         self.on_entry = on_entry
         self.entries: Dict[int, dict] = {}
         self._entries_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
         self._workers: List[_Worker] = []
         self._started = False
         self._drained = False
@@ -643,6 +657,9 @@ class ShardPool:
             elif kind == "ready":
                 worker.ready_info = message[1]
                 worker.ready.set()
+            elif kind == "metrics":
+                worker.metrics_snapshot = message[1]
+                worker.metrics_ready.set()
             elif kind == "done":
                 worker.summary = message[1]
                 worker.ready.set()
@@ -677,10 +694,12 @@ class ShardPool:
             self._send(index, ("serve", encoded))
 
     def _send(self, index: int, message) -> None:
+        worker = self._workers[index]
         try:
-            self._workers[index].conn.send(message)
+            with worker.send_lock:
+                worker.conn.send(message)
         except (OSError, BrokenPipeError) as error:
-            detail = self._workers[index].error or f"{type(error).__name__}: {error}"
+            detail = worker.error or f"{type(error).__name__}: {error}"
             raise ShardPoolError(
                 f"shard {index} is not accepting requests ({detail})"
             ) from None
@@ -696,7 +715,8 @@ class ShardPool:
         self._drained = True
         for worker in self._workers:
             try:
-                worker.conn.send(("drain",))
+                with worker.send_lock:
+                    worker.conn.send(("drain",))
             except (OSError, BrokenPipeError):
                 pass  # already dead; the listener recorded the error
         deadline = time.monotonic() + timeout
@@ -742,6 +762,43 @@ class ShardPool:
         """The composed per-user digest over everything seen so far."""
         return aggregate_transcript_digest(self.normalized_entries())
 
+    def metrics_snapshots(self, timeout: float = 30.0) -> List[dict]:
+        """One registry snapshot per live-or-drained shard.
+
+        Drained workers already attached their final snapshot to the done
+        summary; live workers are polled over the pipe (the request is
+        answered between batches, so a busy shard can take up to one batch
+        to reply).  Workers that died or time out are skipped — a partial
+        merged view beats no view during an incident.
+        """
+        with self._metrics_lock:
+            return self._metrics_snapshots_locked(timeout)
+
+    def _metrics_snapshots_locked(self, timeout: float) -> List[dict]:
+        pending: List[_Worker] = []
+        snapshots: List[dict] = []
+        for worker in self._workers:
+            if worker.done.is_set():
+                if worker.summary is not None and worker.summary.get("metrics"):
+                    snapshots.append(worker.summary["metrics"])
+                continue
+            worker.metrics_ready.clear()
+            try:
+                self._send(worker.index, ("metrics",))
+            except ShardPoolError:
+                continue
+            pending.append(worker)
+        deadline = time.monotonic() + timeout
+        for worker in pending:
+            remaining = max(0.0, deadline - time.monotonic())
+            if worker.metrics_ready.wait(remaining) and worker.metrics_snapshot is not None:
+                snapshots.append(worker.metrics_snapshot)
+        return snapshots
+
+    def merged_metrics(self, timeout: float = 30.0) -> dict:
+        """All shard snapshots merged into one pool-wide view."""
+        return merge_snapshots(self.metrics_snapshots(timeout))
+
 
 # ---------------------------------------------------------------------- #
 # the offline entry point
@@ -766,6 +823,8 @@ class ShardedServeOutcome:
     entry_latencies: List[float] = field(default_factory=list)
     journal_digests: Dict[int, Optional[str]] = field(default_factory=dict)
     state_dir: Optional[Path] = None
+    #: Shard snapshots merged into one view (None when metrics disabled).
+    metrics: Optional[dict] = None
 
     @property
     def all_dead_lettered(self) -> bool:
@@ -789,16 +848,23 @@ class ShardedServeOutcome:
                 str(index): digest for index, digest in sorted(self.journal_digests.items())
             },
             "shards": [
-                {key: value for key, value in summary.items() if key != "entry_latencies"}
+                # Per-shard raw metric snapshots stay off the result file:
+                # the merged view below is the exported one.
+                {
+                    key: value
+                    for key, value in summary.items()
+                    if key not in ("entry_latencies", "metrics")
+                }
                 for summary in self.shard_summaries
             ],
+            "metrics": self.metrics,
             "transcript": self.entries,
         }
 
 
 def run_serve_sharded(
-    load: LoadConfig,
-    workers: int,
+    load: Union[LoadConfig, ServeConfig],
+    workers: Optional[int] = None,
     scale: Optional[ExperimentScale] = None,
     adapter_dir: Optional[Union[str, Path]] = None,
     cache_capacity: Optional[int] = 4,
@@ -815,18 +881,47 @@ def run_serve_sharded(
     max_restarts: int = 8,
     mode: Optional[str] = None,
 ) -> ShardedServeOutcome:
-    """Serve one synthetic workload across ``workers`` shards; returns the outcome.
+    """Serve one synthetic workload across shards; returns the outcome.
 
-    The sharded twin of :func:`~repro.serve.runner.run_serve`: the base
-    model is built (or passed in) once, the deterministic load is generated
-    once, and every request is routed to its consistent-hash shard.  With a
-    ``state_dir``, each shard keeps its own journal/checkpoints/adapters
-    under ``<state_dir>/shard-NN`` and resumes independently; the topology
-    manifest refuses a resume with a different worker count.
+    The sharded twin of :func:`~repro.serve.runner.run_serve`, and like it
+    config-first: pass a :class:`~repro.serve.config.ServeConfig` (whose
+    ``workers`` field is the shard count) plus the runtime-object keywords
+    ``lexicons``/``llm``/``mode``.  The legacy ``LoadConfig``-plus-keywords
+    form still works for one release behind a :class:`DeprecationWarning`.
+
+    The base model is built (or passed in) once, the deterministic load is
+    generated once, and every request is routed to its consistent-hash
+    shard.  With a ``state_dir``, each shard keeps its own
+    journal/checkpoints/adapters under ``<state_dir>/shard-NN`` and resumes
+    independently; the topology manifest refuses a resume with a different
+    worker count.
     """
     import tempfile
 
-    scale = scale or get_scale("smoke", seed=load.seed)
+    if isinstance(load, ServeConfig):
+        config = load
+    else:
+        warn_legacy_call("run_serve_sharded")
+        if workers is None:
+            raise TypeError("run_serve_sharded() missing required argument: 'workers'")
+        config = ServeConfig(
+            load=load,
+            scale=scale,
+            adapter_dir=None if adapter_dir is None else Path(adapter_dir),
+            cache_capacity=cache_capacity,
+            max_batch_size=max_batch_size,
+            pretrain_epochs=pretrain_epochs,
+            workers=workers,
+            state_dir=None if state_dir is None else Path(state_dir),
+            resume=resume,
+            fault_plan=fault_plan,
+            retry=retry,
+            deadline_seconds=deadline_seconds,
+            fsync=fsync,
+            max_restarts=max_restarts,
+        )
+    load = config.load
+    scale = config.resolved_scale()
     lexicons = lexicons or builtin_lexicons()
     if llm is None:
         llm = build_serving_llm(
@@ -834,30 +929,38 @@ def run_serve_sharded(
             dataset=load.dataset,
             seed=load.seed,
             lexicons=lexicons,
-            pretrain_epochs=pretrain_epochs,
+            pretrain_epochs=config.pretrain_epochs,
         )
     temporary = None
-    adapter_root = Path(adapter_dir) if adapter_dir is not None else None
-    if state_dir is None and adapter_root is None:
+    adapter_root = config.adapter_dir
+    if config.state_dir is None and adapter_root is None:
         temporary = tempfile.TemporaryDirectory(prefix="repro-shard-adapters-")
         adapter_root = Path(temporary.name)
     pool = ShardPool(
-        workers,
+        config.workers,
         llm=llm,
         load=load,
         scale=scale,
-        cache_capacity=cache_capacity,
-        max_batch_size=max_batch_size,
-        retry=retry,
-        deadline_seconds=deadline_seconds,
-        fault_plan=fault_plan,
-        fsync=fsync,
-        max_restarts=max_restarts,
+        cache_capacity=config.cache_capacity,
+        max_batch_size=config.max_batch_size,
+        retry=config.retry,
+        deadline_seconds=config.deadline_seconds,
+        fault_plan=config.fault_plan,
+        fsync=config.fsync,
+        max_restarts=config.max_restarts,
         adapter_root=adapter_root,
-        state_root=state_dir,
-        resume=resume,
+        state_root=config.state_dir,
+        resume=config.resume,
         mode=mode,
     )
+    snapshotter = None
+    if config.metrics_enabled and config.metrics_out is not None:
+        snapshotter = PeriodicSnapshotter(
+            MetricsRegistry(),
+            config.metrics_out,
+            config.metrics_interval_seconds,
+            snapshot_fn=pool.merged_metrics,
+        ).start()
     try:
         pool.start()
         started = time.perf_counter()
@@ -868,9 +971,13 @@ def run_serve_sharded(
         pool.terminate()
         raise
     finally:
+        if snapshotter is not None:
+            snapshotter.stop()
         if temporary is not None:
             temporary.cleanup()
-    return _assemble_outcome(pool, summaries, elapsed, state_dir)
+    return _assemble_outcome(
+        pool, summaries, elapsed, config.state_dir, metrics_enabled=config.metrics_enabled
+    )
 
 
 def _assemble_outcome(
@@ -878,6 +985,7 @@ def _assemble_outcome(
     summaries: List[dict],
     elapsed: float,
     state_dir: Optional[Union[str, Path]],
+    metrics_enabled: bool = True,
 ) -> ShardedServeOutcome:
     user_digests: Dict[str, str] = {}
     for summary in summaries:
@@ -897,6 +1005,10 @@ def _assemble_outcome(
     latencies = sorted(
         latency for summary in summaries for latency in summary.get("entry_latencies", [])
     )
+    merged_metrics: Optional[dict] = None
+    if metrics_enabled:
+        shard_snapshots = [s["metrics"] for s in summaries if s.get("metrics")]
+        merged_metrics = merge_snapshots(shard_snapshots)
     return ShardedServeOutcome(
         num_workers=pool.num_shards,
         mode=pool.mode,
@@ -914,4 +1026,5 @@ def _assemble_outcome(
         entry_latencies=latencies,
         journal_digests={s["index"]: s["journal_digest"] for s in summaries},
         state_dir=Path(state_dir) if state_dir is not None else None,
+        metrics=merged_metrics,
     )

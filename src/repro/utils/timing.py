@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 @dataclass
@@ -70,10 +70,17 @@ class Stopwatch:
 
 
 class SectionTimer:
-    """Collects named timing sections, e.g. ``selection``, ``finetune``."""
+    """Collects named timing sections, e.g. ``selection``, ``finetune``.
 
-    def __init__(self) -> None:
+    ``on_section`` (settable any time) is called as ``on_section(name,
+    seconds)`` after each measured section — the hook the serving metrics
+    registry uses to mirror pipeline-stage durations into histograms
+    without the timer depending on the registry.
+    """
+
+    def __init__(self, on_section: Optional[Callable[[str, float], None]] = None) -> None:
         self._records: Dict[str, TimerRecord] = {}
+        self.on_section = on_section
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
@@ -87,6 +94,8 @@ class SectionTimer:
             record.total_seconds += duration
             record.calls += 1
             record.durations.append(duration)
+            if self.on_section is not None:
+                self.on_section(name, duration)
 
     def record(self, name: str) -> TimerRecord:
         """The record for ``name`` (created empty if missing)."""

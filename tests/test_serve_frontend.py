@@ -38,6 +38,7 @@ from repro.serve.frontend import (
     stream_chunks,
     wait_for_port_file,
 )
+from repro.serve.config import ServeConfig
 from repro.serve.loadgen import LoadConfig, build_serving_llm
 from repro.serve.session import SessionManager
 
@@ -68,17 +69,19 @@ def pristine_llm(frontend_env):
     return frontend_env["llm"]
 
 
-def boot(frontend_env, **kwargs):
+def boot(frontend_env, start_worker=True, **kwargs):
     """Boot one front-end from pristine state; returns (server, host, port)."""
-    frontend = ServeFrontend(
-        host="127.0.0.1",
-        port=0,
+    config = ServeConfig(
+        load=LoadConfig(seed=0),
         scale=frontend_env["scale"],
-        seed=0,
-        llm=pristine_llm(frontend_env),
-        lexicons=frontend_env["lexicons"],
         max_batch_size=4,
         **kwargs,
+    )
+    frontend = ServeFrontend(
+        config,
+        llm=pristine_llm(frontend_env),
+        lexicons=frontend_env["lexicons"],
+        start_worker=start_worker,
     )
     server = FrontendThread(frontend)
     host, port = server.start()

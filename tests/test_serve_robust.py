@@ -20,6 +20,7 @@ from repro.serve import (
     PermanentServingError,
     RequestScheduler,
     RetryPolicy,
+    ServeConfig,
     run_serve,
 )
 from repro.serve.loadgen import build_serving_llm
@@ -62,18 +63,22 @@ class TestTransientFaults:
         llm = pristine_llm(serve_env)
         # cache_capacity=1 forces evictions and disk round trips on every
         # adapter swap — the I/O surface the faults are injected into.
-        clean = run_serve(LOAD, scale=serve_env["scale"], llm=llm, cache_capacity=1)
+        clean = run_serve(
+            ServeConfig(load=LOAD, scale=serve_env["scale"], cache_capacity=1), llm=llm
+        )
         llm = pristine_llm(serve_env)
         faulty = run_serve(
-            LOAD,
-            scale=serve_env["scale"],
+            ServeConfig(
+                load=LOAD,
+                scale=serve_env["scale"],
+                cache_capacity=1,
+                # seed=1: this plan's store-io stream fires a few faults within
+                # the ~12 disk operations this load performs (seed 0's happens
+                # not to dip below the rate at all).
+                fault_plan=FaultPlan(seed=1, store_error_rate=0.25),
+                retry=RetryPolicy(max_attempts=6),
+            ),
             llm=llm,
-            cache_capacity=1,
-            # seed=1: this plan's store-io stream fires a few faults within
-            # the ~12 disk operations this load performs (seed 0's happens
-            # not to dip below the rate at all).
-            fault_plan=FaultPlan(seed=1, store_error_rate=0.25),
-            retry=RetryPolicy(max_attempts=6),
         )
         assert faulty.report.retries > 0
         assert faulty.report.dead_letter_requests == 0
@@ -86,12 +91,16 @@ class TestTransientFaults:
         finishes every request one way or the other."""
         llm = pristine_llm(serve_env)
         outcome = run_serve(
-            LOAD,
-            scale=serve_env["scale"],
+            ServeConfig(
+                load=LOAD,
+                scale=serve_env["scale"],
+                cache_capacity=1,
+                fault_plan=FaultPlan(
+                    seed=0, store_error_rate=1.0, store_error_ops=("read",)
+                ),
+                retry=RetryPolicy(max_attempts=2),
+            ),
             llm=llm,
-            cache_capacity=1,
-            fault_plan=FaultPlan(seed=0, store_error_rate=1.0, store_error_ops=("read",)),
-            retry=RetryPolicy(max_attempts=2),
         )
         report = outcome.report
         assert report.degraded_chat_requests > 0
@@ -107,11 +116,13 @@ class TestTransientFaults:
         requests; everything else is served normally."""
         llm = pristine_llm(serve_env)
         outcome = run_serve(
-            LOAD,
-            scale=serve_env["scale"],
+            ServeConfig(
+                load=LOAD,
+                scale=serve_env["scale"],
+                fault_plan=FaultPlan(seed=0, slow_session_at=1, slow_session_seconds=30.0),
+                deadline_seconds=1.0,
+            ),
             llm=llm,
-            fault_plan=FaultPlan(seed=0, slow_session_at=1, slow_session_seconds=30.0),
-            deadline_seconds=1.0,
         )
         report = outcome.report
         assert report.dead_letter_requests > 0
@@ -129,12 +140,16 @@ class TestQuarantine:
         llm = pristine_llm(serve_env)
         adapter_dir = tmp_path / "adapters"
         outcome = run_serve(
-            LOAD,
-            scale=serve_env["scale"],
+            ServeConfig(
+                load=LOAD,
+                scale=serve_env["scale"],
+                adapter_dir=adapter_dir,
+                cache_capacity=1,  # force evictions: corruption must be re-read
+                fault_plan=FaultPlan(
+                    seed=0, corrupt_user="user-00", corrupt_after_writes=1
+                ),
+            ),
             llm=llm,
-            adapter_dir=adapter_dir,
-            cache_capacity=1,  # force evictions: corruption must be re-read
-            fault_plan=FaultPlan(seed=0, corrupt_user="user-00", corrupt_after_writes=1),
         )
         report = outcome.report
         assert report.store.get("quarantined", 0) >= 1
@@ -153,17 +168,22 @@ class TestCrashRecovery:
         round's loss and change the digest)."""
         llm = pristine_llm(serve_env)
         baseline = run_serve(
-            LOAD, scale=serve_env["scale"], llm=llm, state_dir=tmp_path / "baseline"
+            ServeConfig(
+                load=LOAD, scale=serve_env["scale"], state_dir=tmp_path / "baseline"
+            ),
+            llm=llm,
         )
         assert baseline.journal_digest is not None
         for point in CRASH_POINTS:
             llm = pristine_llm(serve_env)
             outcome = run_serve(
-                LOAD,
-                scale=serve_env["scale"],
+                ServeConfig(
+                    load=LOAD,
+                    scale=serve_env["scale"],
+                    state_dir=tmp_path / f"crash-{point}",
+                    fault_plan=FaultPlan(seed=0, crash_point=point, crash_at_hit=1),
+                ),
                 llm=llm,
-                state_dir=tmp_path / f"crash-{point}",
-                fault_plan=FaultPlan(seed=0, crash_point=point, crash_at_hit=1),
             )
             assert outcome.restarts == 1, point
             assert outcome.journal_digest == baseline.journal_digest, point
@@ -172,10 +192,12 @@ class TestCrashRecovery:
         llm = pristine_llm(serve_env)
         with pytest.raises(ValueError, match="state_dir"):
             run_serve(
-                LOAD,
-                scale=serve_env["scale"],
+                ServeConfig(
+                    load=LOAD,
+                    scale=serve_env["scale"],
+                    fault_plan=FaultPlan(crash_point=CRASH_POINTS[0]),
+                ),
                 llm=llm,
-                fault_plan=FaultPlan(crash_point=CRASH_POINTS[0]),
             )
 
 

@@ -11,6 +11,7 @@ from repro.serve import (
     LoadConfig,
     PersonalizeRequest,
     RequestScheduler,
+    ServeConfig,
     generate_load,
     run_serve,
 )
@@ -37,7 +38,9 @@ def micro_serve(seed=0):
         corpus_size_per_user=MICRO_LOAD.corpus_size_per_user,
         seed=seed,
     )
-    return run_serve(load, scale=get_scale("smoke", seed=seed), pretrain_epochs=3)
+    return run_serve(
+        ServeConfig(load=load, scale=get_scale("smoke", seed=seed), pretrain_epochs=3)
+    )
 
 
 class TestLoadGenerator:

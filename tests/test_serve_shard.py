@@ -20,7 +20,7 @@ import pytest
 
 import repro
 from repro.cli import main
-from repro.serve import LoadConfig, run_serve
+from repro.serve import LoadConfig, ServeConfig, run_serve
 from repro.serve.journal import JournalError
 from repro.serve.loadgen import user_ids
 from repro.serve.shard import (
@@ -115,9 +115,8 @@ class TestShardedServe:
     """End-to-end sharded runs (thread mode: cheap under pytest)."""
 
     def sharded(self, llm, workers, **kwargs):
-        return run_serve_sharded(
-            SHARD_LOAD, workers=workers, llm=llm.clone(), mode="thread", **kwargs
-        )
+        config = ServeConfig(load=SHARD_LOAD, workers=workers, **kwargs)
+        return run_serve_sharded(config, llm=llm.clone(), mode="thread")
 
     def test_digest_identical_across_worker_counts(self, pretrained_llm):
         one = self.sharded(pretrained_llm, 1)
@@ -131,7 +130,7 @@ class TestShardedServe:
         aggregate equals the normalized digest of a plain run_serve run."""
         from repro.serve.frontend import normalize_entry
 
-        single = run_serve(SHARD_LOAD, llm=pretrained_llm.clone())
+        single = run_serve(ServeConfig(load=SHARD_LOAD), llm=pretrained_llm.clone())
         seqs, normalized = {}, []
         for entry in sorted(single.transcript, key=lambda e: e["request_id"]):
             seq = seqs.get(entry["user_id"], 0)
@@ -180,7 +179,9 @@ class TestShardedFrontend:
         digests = {}
         for workers in (1, 2):
             frontend = ServeFrontend(
-                seed=0, llm=pretrained_llm.clone(), workers=workers, shard_mode="thread"
+                ServeConfig(load=SHARD_LOAD, workers=workers),
+                llm=pretrained_llm.clone(),
+                shard_mode="thread",
             )
             thread = FrontendThread(frontend)
             host, port = thread.start()

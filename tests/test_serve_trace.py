@@ -14,6 +14,7 @@ from repro.cli import main
 from repro.experiments.presets import get_scale
 from repro.serve.adapter_store import LoRAAdapterStore
 from repro.serve.client import drive_load, replay_trace_against
+from repro.serve.config import ServeConfig
 from repro.serve.frontend import FrontendThread, ServeFrontend
 from repro.serve.journal import JOURNAL_FILE, RequestJournal, replay
 from repro.serve.loadgen import LoadConfig, build_serving_llm
@@ -50,16 +51,18 @@ def pristine_llm(frontend_env):
     return frontend_env["llm"]
 
 
-def boot(frontend_env, **kwargs):
-    frontend = ServeFrontend(
-        host="127.0.0.1",
-        port=0,
+def boot(frontend_env, trace_path=None, **kwargs):
+    config = ServeConfig(
+        load=LoadConfig(seed=0),
         scale=frontend_env["scale"],
-        seed=0,
+        max_batch_size=4,
+        trace_out=trace_path,
+        **kwargs,
+    )
+    frontend = ServeFrontend(
+        config,
         llm=pristine_llm(frontend_env),
         lexicons=frontend_env["lexicons"],
-        max_batch_size=4,
-        **kwargs,
     )
     server = FrontendThread(frontend)
     host, port = server.start()
